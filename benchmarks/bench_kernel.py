@@ -1,0 +1,72 @@
+"""Kernel micro-benchmarks: APSP, single-source BFS, deviation pricing,
+full best-response computation and one dynamics step.
+
+These are the quantities the hpc-parallel tuning was aimed at; the APSP
+via layered boolean matmul is the hot path of every experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import DeviationEvaluator
+from repro.core.costs import DistanceMode
+from repro.core.games import AsymmetricSwapGame, GreedyBuyGame
+from repro.core.policies import MaxCostPolicy
+from repro.graphs import adjacency as adj
+from repro.graphs.generators import random_budget_network, random_m_edge_network
+
+
+@pytest.fixture(scope="module")
+def net100():
+    return random_budget_network(100, 3, seed=1)
+
+
+@pytest.fixture(scope="module")
+def net50():
+    return random_m_edge_network(50, 200, seed=2)
+
+
+def test_bfs_single_source_n100(benchmark, net100):
+    benchmark(adj.bfs_distances, net100.A, 0)
+
+
+def test_apsp_n100(benchmark, net100):
+    benchmark(adj.all_pairs_distances, net100.A)
+
+
+def test_apsp_without_vertex_n100(benchmark, net100):
+    benchmark(adj.distances_without_vertex, net100.A, 50)
+
+
+def test_deviation_evaluator_build_n100(benchmark, net100):
+    benchmark(DeviationEvaluator, net100, 10, DistanceMode.SUM)
+
+
+def test_deviation_batch_n100(benchmark, net100):
+    ev = DeviationEvaluator(net100, 10, DistanceMode.SUM)
+    kept = net100.neighbors(10)[:-1]
+    base = ev.base_vector(kept)
+    candidates = np.arange(20, 90)
+    benchmark(ev.batch_costs, base, candidates)
+
+
+def test_asg_best_response_n100(benchmark, net100):
+    game = AsymmetricSwapGame("sum")
+    benchmark(game.best_responses, net100, 10)
+
+
+def test_gbg_best_response_n50(benchmark, net50):
+    game = GreedyBuyGame("sum", alpha=12.5)
+    benchmark(game.best_responses, net50, 10)
+
+
+def test_maxcost_policy_select_n50(benchmark, net50):
+    game = GreedyBuyGame("sum", alpha=12.5)
+    policy = MaxCostPolicy()
+    rng = np.random.default_rng(0)
+    benchmark(policy.select, game, net50, rng)
+
+
+def test_unhappy_scan_n50(benchmark, net50):
+    game = AsymmetricSwapGame("max")
+    benchmark(game.unhappy_agents, net50)

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every paper figure has one bench module.  Figure benches run a
+scaled-down version of the paper's grid once (``rounds=1``), print the
+series tables the paper plots, assert the qualitative claims, and drop a
+machine-readable summary under ``benchmarks/_results/`` for
+EXPERIMENTS.md regeneration.
+
+Paper-scale runs (n up to 100, thousands of trials) are available via
+``examples/empirical_study.py --full``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+def save_summary(name: str, summary: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.json", "w") as fh:
+        json.dump(summary, fh, indent=2, default=str)
+
+
+def run_figure_once(benchmark, spec, seed=0):
+    """Run a figure grid exactly once under pytest-benchmark timing."""
+    from repro.experiments.runner import run_figure
+
+    return benchmark.pedantic(
+        run_figure, args=(spec,), kwargs={"seed": seed}, iterations=1, rounds=1
+    )

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The full empirical study of Sections 3.4 and 4.2 (Figures 7-14).
+
+Runs the figure grids and prints the series tables the paper plots.
+The default scale finishes in a few minutes; ``--full`` switches to the
+paper's grid (n = 10..100 and thousands of trials — hours of compute).
+
+Usage::
+
+    python examples/empirical_study.py [fig7|fig8|fig11|fig12|fig13|fig14 ...]
+        [--trials T] [--n 10,20,30] [--jobs J] [--full]
+"""
+
+import argparse
+
+from repro.experiments.asg_budget import figure7_spec, figure8_spec
+from repro.experiments.gbg import figure11_spec, figure13_spec
+from repro.experiments.report import format_figure
+from repro.experiments.runner import run_figure
+from repro.experiments.topology import figure12_spec, figure14_spec
+
+SPECS = {
+    "fig7": figure7_spec,
+    "fig8": figure8_spec,
+    "fig11": figure11_spec,
+    "fig12": figure12_spec,
+    "fig13": figure13_spec,
+    "fig14": figure14_spec,
+}
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("figures", nargs="*", default=[], help="subset of figures to run")
+    ap.add_argument("--trials", type=int, default=None)
+    ap.add_argument("--n", type=str, default=None, help="comma-separated n values")
+    ap.add_argument("--jobs", type=int, default=1, help="worker processes")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--full", action="store_true", help="paper-scale grid")
+    args = ap.parse_args()
+
+    names = args.figures or list(SPECS)
+    n_values = [int(x) for x in args.n.split(",")] if args.n else None
+    for name in names:
+        spec = SPECS[name]()
+        if args.full:
+            spec = spec.paper_scale()
+        result = run_figure(
+            spec, seed=args.seed, n_jobs=args.jobs,
+            trials=args.trials, n_values=n_values,
+        )
+        print()
+        print(format_figure(result, "mean"))
+        print()
+        print(format_figure(result, "max"))
+
+
+if __name__ == "__main__":
+    main()

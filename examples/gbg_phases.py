@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Phase structure of Greedy Buy Game trajectories (Section 4.2.2).
+
+The paper describes typical SUM-GBG runs on dense starts as three
+phases: mostly deletions, then swaps with some buys, then cleanup.
+This script prints the operation mix per trajectory third and an
+operation timeline for a sample run.
+
+Usage::
+
+    python examples/gbg_phases.py [n] [m_factor] [seed]
+"""
+
+import sys
+
+from repro.experiments.gbg import move_mix_trajectory, phase_summary
+
+GLYPH = {"delete": "-", "swap": "~", "buy": "+", "multi": "*"}
+
+
+def main(n: int = 40, m_factor: int = 4, seed: int = 1) -> None:
+    kinds = move_mix_trajectory(n, m_factor=m_factor, alpha_factor=0.25, seed=seed)
+    summary = phase_summary(kinds)
+
+    print(f"SUM-GBG sample run: n={n}, m={m_factor}n, alpha=n/4, random policy")
+    print(f"converged after {len(kinds)} steps\n")
+    print("operation timeline ('-' delete, '~' swap, '+' buy):")
+    line = "".join(GLYPH[k] for k in kinds)
+    for i in range(0, len(line), 72):
+        print("  " + line[i : i + 72])
+
+    print("\noperation mix per trajectory third:")
+    for phase in ("early", "middle", "late"):
+        counts = getattr(summary, phase)
+        total = sum(counts.values()) or 1
+        mix = ", ".join(f"{k}: {v} ({100*v/total:.0f}%)" for k, v in counts.most_common())
+        print(f"  {phase:<7} {mix}")
+    print(f"\ndominant early operation: {summary.dominant('early')} "
+          "(the paper's 'first there is a phase with mostly deletions')")
+
+
+if __name__ == "__main__":
+    main(*(int(a) for a in sys.argv[1:4]))

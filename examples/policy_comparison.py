@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Move-policy comparison: does coordination help?
+
+Compares the max cost policy against the random policy (and round-robin
+as an extra baseline) on the bounded-budget SUM/MAX-ASG — the paper's
+Figures 7/8 finding: coordination helps under SUM, barely matters under
+MAX.
+
+Usage::
+
+    python examples/policy_comparison.py [n] [trials]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.stats import ConvergenceStats
+from repro.core.dynamics import run_dynamics
+from repro.core.games import AsymmetricSwapGame
+from repro.core.policies import MaxCostPolicy, RandomPolicy, RoundRobinPolicy
+from repro.graphs.generators import random_budget_network
+
+POLICIES = {
+    "max cost": MaxCostPolicy,
+    "random": RandomPolicy,
+    "round-robin": RoundRobinPolicy,
+}
+
+
+def main(n: int = 30, trials: int = 25) -> None:
+    for mode in ("sum", "max"):
+        game = AsymmetricSwapGame(mode)
+        print(f"\n{mode.upper()}-ASG, budget k=2, n={n}, {trials} trials")
+        print(f"{'policy':<12} {'mean':>7} {'max':>5} {'p95':>7}")
+        for name, ctor in POLICIES.items():
+            stats = ConvergenceStats()
+            for seed in range(trials):
+                net = random_budget_network(n, 2, seed=seed)
+                res = run_dynamics(
+                    game, net, ctor(), seed=seed, max_steps=50 * n,
+                    record_trajectory=False,
+                )
+                stats.add(res.steps, res.converged)
+            print(f"{name:<12} {stats.mean:>7.1f} {stats.max:>5d} "
+                  f"{stats.percentile(95):>7.1f}")
+    print("\nPaper's reading: under SUM the max cost policy is faster; under")
+    print("MAX the policies are nearly indistinguishable (most agents share")
+    print("the maximum cost, so 'max cost' is almost a uniform choice).")
+
+
+if __name__ == "__main__":
+    main(*(int(a) for a in sys.argv[1:3]))

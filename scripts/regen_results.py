@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Rebuild the measured-numbers appendix from benchmark JSON output.
+
+Run ``pytest benchmarks/ --benchmark-only`` first (it drops one JSON file
+per figure into ``benchmarks/_results/``), then::
+
+    python scripts/regen_results.py > docs/measured_results.md
+"""
+
+import json
+import pathlib
+import sys
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "_results"
+
+
+def emit_figure(data: dict) -> None:
+    print(f"\n## {data['figure']} — {data['title']}")
+    print(f"\nworst max/n ratio: **{data['worst_max_over_n']:.2f}**"
+          f", non-converged runs: **{data['non_converged']}**\n")
+    ns = sorted({int(n) for per in data["series"].values() for n in per}, key=int)
+    header = "| series | " + " | ".join(f"mean @ n={n}" for n in ns) + " | worst max |"
+    sep = "|" + "---|" * (len(ns) + 2)
+    print(header)
+    print(sep)
+    for name, per in data["series"].items():
+        cells = []
+        worst = 0
+        for n in ns:
+            s = per.get(str(n)) or per.get(n)
+            if s is None:
+                cells.append("-")
+            else:
+                cells.append(f"{s['mean']:.1f}")
+                worst = max(worst, int(s["max"]))
+        print(f"| {name} | " + " | ".join(cells) + f" | {worst} |")
+
+
+def main() -> int:
+    if not RESULTS.exists():
+        print("no benchmark results found; run pytest benchmarks/ --benchmark-only",
+              file=sys.stderr)
+        return 1
+    print("# Measured results (regenerated from benchmarks/_results)")
+    for path in sorted(RESULTS.glob("fig*.json")):
+        with open(path) as fh:
+            emit_figure(json.load(fh))
+    theory = RESULTS / "theory_m_pn.json"
+    if theory.exists():
+        with open(theory) as fh:
+            data = json.load(fh)
+        print("\n## Theorem 2.11 — M(P_n) series")
+        print("\n| n | M(P_n) |")
+        print("|---|---|")
+        for n, m in sorted(data.items(), key=lambda kv: int(kv[0])):
+            print(f"| {n} | {m} |")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

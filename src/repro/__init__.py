@@ -1,0 +1,107 @@
+"""repro — reproduction of "On Dynamics in Selfish Network Creation".
+
+Kawald & Lenzner, SPAA 2013 (arXiv:1212.4797).
+
+The package implements the sequential-move dynamics of Network Creation
+Games: the Swap Game (SG), Asymmetric Swap Game (ASG), Greedy Buy Game
+(GBG), Buy Game (BG) and the bilateral equal-split Buy Game, under SUM
+and MAX distance-cost, together with the paper's move policies,
+counterexample instances (best-response cycles), convergence theory on
+trees, and the full empirical study of Sections 3.4 and 4.2.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import (AsymmetricSwapGame, MaxCostPolicy, run_dynamics,
+...                    random_budget_network)
+>>> net = random_budget_network(n=30, budget=2, seed=1)
+>>> game = AsymmetricSwapGame("sum")
+>>> result = run_dynamics(game, net, MaxCostPolicy(), seed=1)
+>>> result.converged
+True
+"""
+
+from .core import (
+    EPS,
+    AsymmetricSwapGame,
+    BestResponse,
+    BilateralGame,
+    Buy,
+    BuyGame,
+    Delete,
+    DeviationEvaluator,
+    DistanceMode,
+    FirstUnhappyPolicy,
+    Game,
+    GreedyBuyGame,
+    MaxCostPolicy,
+    MovePolicy,
+    Network,
+    RandomPolicy,
+    RoundRobinPolicy,
+    RunResult,
+    ScriptedPolicy,
+    StepRecord,
+    StrategyChange,
+    Swap,
+    SwapGame,
+    agent_cost,
+    choose_move,
+    cost_vector,
+    move_kind,
+    run_dynamics,
+    social_cost,
+)
+from .graphs.generators import (
+    directed_line_network,
+    path_network,
+    random_budget_network,
+    random_line_network,
+    random_m_edge_network,
+    random_tree_network,
+    star_network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Network",
+    "DistanceMode",
+    "Game",
+    "SwapGame",
+    "AsymmetricSwapGame",
+    "GreedyBuyGame",
+    "BuyGame",
+    "BilateralGame",
+    "BestResponse",
+    "EPS",
+    "DeviationEvaluator",
+    "Swap",
+    "Buy",
+    "Delete",
+    "StrategyChange",
+    "move_kind",
+    "agent_cost",
+    "cost_vector",
+    "social_cost",
+    "MovePolicy",
+    "MaxCostPolicy",
+    "RandomPolicy",
+    "FirstUnhappyPolicy",
+    "RoundRobinPolicy",
+    "ScriptedPolicy",
+    "run_dynamics",
+    "RunResult",
+    "StepRecord",
+    "choose_move",
+    # generators
+    "random_budget_network",
+    "random_m_edge_network",
+    "random_tree_network",
+    "random_line_network",
+    "directed_line_network",
+    "path_network",
+    "star_network",
+]

@@ -1,0 +1,195 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``verify [figures...]``
+    Machine-check the paper's counterexample instances (default: all).
+``run --game asg --mode sum --policy maxcost --n 30 ...``
+    One dynamics run with a summary of the outcome.
+``experiment fig7 [--trials T] [--n 10,20,30] [--full]``
+    A figure grid of the empirical study, printed as the paper's series.
+``classify [figures...]``
+    Exhaustive reachable-dynamics classification of instance states.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_verify(args) -> int:
+    """``repro verify``: machine-check the paper instances."""
+    from .instances.figures import ALL_INSTANCES
+    from .instances.verify import verify_instance
+
+    names = args.figures or list(ALL_INSTANCES)
+    failed = 0
+    for name in names:
+        if name not in ALL_INSTANCES:
+            print(f"{name}: unknown figure (choose from {', '.join(ALL_INSTANCES)})")
+            failed += 1
+            continue
+        inst = ALL_INSTANCES[name]()
+        rep = verify_instance(inst)
+        status = "OK " if rep.ok else "FAIL"
+        print(f"{status} {name:6s} [{inst.theorem}] steps={rep.steps} "
+              f"improvements={[round(x, 3) for x in rep.improvements]}")
+        if not rep.ok:
+            failed += 1
+            for f in rep.failures:
+                print("     ", f)
+    return 1 if failed else 0
+
+
+def cmd_run(args) -> int:
+    """``repro run``: one dynamics run with an outcome summary."""
+    import numpy as np
+
+    from .core.dynamics import run_dynamics
+    from .core.games import AsymmetricSwapGame, GreedyBuyGame, SwapGame
+    from .core.policies import MaxCostPolicy, RandomPolicy
+    from .graphs import adjacency as adj
+    from .graphs.generators import random_budget_network, random_m_edge_network
+
+    if args.game == "asg":
+        game = AsymmetricSwapGame(args.mode)
+        net = random_budget_network(args.n, args.budget, seed=args.seed)
+    elif args.game == "sg":
+        game = SwapGame(args.mode)
+        net = random_budget_network(args.n, args.budget, seed=args.seed)
+    elif args.game == "gbg":
+        alpha = args.alpha if args.alpha is not None else args.n / 4
+        game = GreedyBuyGame(args.mode, alpha=alpha)
+        net = random_m_edge_network(args.n, args.m or 2 * args.n, seed=args.seed)
+    else:
+        print(f"unknown game {args.game!r}")
+        return 2
+    policy = MaxCostPolicy() if args.policy == "maxcost" else RandomPolicy()
+    result = run_dynamics(game, net, policy, seed=args.seed, max_steps=50 * args.n)
+    print(f"{result.status} after {result.steps} steps "
+          f"(5n = {5 * args.n}); final diameter "
+          f"{adj.diameter(result.final.A):.0f}; move mix {dict(result.move_counts)}")
+    return 0 if result.converged else 1
+
+
+def cmd_experiment(args) -> int:
+    """``repro experiment``: run one figure grid and print its series."""
+    from .experiments.asg_budget import figure7_spec, figure8_spec
+    from .experiments.gbg import figure11_spec, figure13_spec
+    from .experiments.report import format_figure
+    from .experiments.runner import run_figure
+    from .experiments.topology import figure12_spec, figure14_spec
+
+    specs = {
+        "fig7": figure7_spec, "fig8": figure8_spec, "fig11": figure11_spec,
+        "fig12": figure12_spec, "fig13": figure13_spec, "fig14": figure14_spec,
+    }
+    if args.figure not in specs:
+        print(f"unknown figure {args.figure!r} (choose from {', '.join(specs)})")
+        return 2
+    spec = specs[args.figure]()
+    if args.full:
+        spec = spec.paper_scale()
+    n_values = [int(x) for x in args.n.split(",")] if args.n else None
+    result = run_figure(spec, seed=args.seed, n_jobs=args.jobs,
+                        trials=args.trials, n_values=n_values)
+    print(format_figure(result, "mean"))
+    print()
+    print(format_figure(result, "max"))
+    return 0
+
+
+def cmd_classify(args) -> int:
+    """``repro classify``: reachable-dynamics classification of instances."""
+    from .core.classify import classify_reachable
+    from .instances.figures import ALL_INSTANCES
+
+    names = args.figures or ["fig3"]
+    for name in names:
+        inst = ALL_INSTANCES[name]()
+        rep = classify_reachable(
+            inst.game, inst.network,
+            best_response_only=args.best_response,
+            max_states=args.max_states,
+        )
+        kind = "best-response" if args.best_response else "improving-move"
+        print(f"{name}: {kind} dynamics from the initial state: "
+              f"{rep.n_states} states, {rep.n_stable} stable, "
+              f"cycle={rep.has_improvement_cycle}, "
+              f"weakly-acyclic={rep.weakly_acyclic}"
+              + (" [truncated]" if rep.truncated else ""))
+    return 0
+
+
+def cmd_export(args) -> int:
+    """``repro export``: dump an instance (network + cycle) as JSON."""
+    import json
+
+    from .instances.figures import ALL_INSTANCES
+
+    if args.figure not in ALL_INSTANCES:
+        print(f"unknown figure {args.figure!r} (choose from {', '.join(ALL_INSTANCES)})")
+        return 2
+    inst = ALL_INSTANCES[args.figure]()
+    payload = {
+        "name": inst.name,
+        "theorem": inst.theorem,
+        "game": type(inst.game).__name__,
+        "mode": inst.game.mode.value,
+        "alpha": inst.game.alpha,
+        "network": inst.network.to_dict(),
+        "cycle": [
+            {"agent": lbl, "move": mv.describe(inst.network)} for lbl, mv in inst.cycle
+        ],
+        "notes": inst.notes,
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("verify", help="machine-check the paper instances")
+    p.add_argument("figures", nargs="*")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("run", help="one dynamics run")
+    p.add_argument("--game", default="asg", choices=["asg", "sg", "gbg"])
+    p.add_argument("--mode", default="sum", choices=["sum", "max"])
+    p.add_argument("--policy", default="maxcost", choices=["maxcost", "random"])
+    p.add_argument("--n", type=int, default=30)
+    p.add_argument("--budget", type=int, default=2)
+    p.add_argument("--m", type=int, default=None)
+    p.add_argument("--alpha", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("experiment", help="run a figure grid")
+    p.add_argument("figure")
+    p.add_argument("--trials", type=int, default=None)
+    p.add_argument("--n", type=str, default=None)
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--full", action="store_true")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("classify", help="reachable-dynamics classification")
+    p.add_argument("figures", nargs="*")
+    p.add_argument("--best-response", action="store_true")
+    p.add_argument("--max-states", type=int, default=20_000)
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("export", help="dump an instance as JSON")
+    p.add_argument("figure")
+    p.set_defaults(func=cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

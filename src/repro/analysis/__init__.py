@@ -1,0 +1,5 @@
+"""Equilibrium analysis: stability, social cost, statistics, trajectories."""
+
+from . import equilibria, social, stats, trajectories  # noqa: F401
+
+__all__ = ["equilibria", "social", "stats", "trajectories"]

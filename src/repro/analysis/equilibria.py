@@ -1,0 +1,96 @@
+"""Stability notions and structural facts about stable networks.
+
+* :func:`is_stable` — pure Nash stability for any game type (no agent
+  has an admissible improving move).
+* :func:`is_pairwise_stable` — the bilateral game's solution concept
+  (Corbo & Parkes): no agent wants to *delete* an incident edge, and no
+  non-adjacent pair would *both* (weakly, one strictly) gain from adding
+  their edge.
+* :func:`stable_tree_shape` — Alon et al.'s classification used
+  throughout Section 2: stable trees of the MAX-SG are stars or double
+  stars (diameter <= 3); the SUM-SG's stable trees are stars
+  (diameter <= 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.games import EPS, BilateralGame, Game
+from ..core.network import Network
+from ..graphs import adjacency as adj
+from ..graphs.properties import is_double_star, is_star, is_tree
+
+__all__ = [
+    "is_stable",
+    "unhappy_agents",
+    "is_pairwise_stable",
+    "stable_tree_shape",
+]
+
+
+def is_stable(game: Game, net: Network) -> bool:
+    """Pure Nash stability: no agent has an admissible improving move."""
+    return game.is_stable(net)
+
+
+def unhappy_agents(game: Game, net: Network) -> List[int]:
+    """Agents with at least one admissible improving move."""
+    return game.unhappy_agents(net)
+
+
+def is_pairwise_stable(game: BilateralGame, net: Network) -> Tuple[bool, Optional[str]]:
+    """Pairwise stability for the bilateral equal-split game.
+
+    Conditions:
+
+    1. no agent strictly gains by deleting one incident edge
+       (deletions are unilateral);
+    2. no absent edge ``{u, v}`` exists such that adding it strictly
+       helps one endpoint and does not hurt the other.
+
+    Returns ``(stable, witness)`` where ``witness`` describes the first
+    violated condition.
+    """
+    n = net.n
+    base = [game.current_cost(net, u) for u in range(n)]
+    # deletions
+    for u in range(n):
+        for v in net.neighbors(u):
+            work = net.copy()
+            work.remove_edge(u, int(v))
+            if game.current_cost(work, u) < base[u] - EPS:
+                return False, f"{net.label(u)} gains by deleting {{{net.label(u)},{net.label(int(v))}}}"
+    # additions (bilateral consent)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if net.A[u, v]:
+                continue
+            if game.host is not None and not game.host[u, v]:
+                continue
+            work = net.copy()
+            work.add_edge(u, v)
+            cu, cv = game.current_cost(work, u), game.current_cost(work, v)
+            better_u, better_v = cu < base[u] - EPS, cv < base[v] - EPS
+            nohurt_u, nohurt_v = cu <= base[u] + EPS, cv <= base[v] + EPS
+            if (better_u and nohurt_v) or (better_v and nohurt_u):
+                return False, f"edge {{{net.label(u)},{net.label(v)}}} is mutually beneficial"
+    return True, None
+
+
+def stable_tree_shape(net: Network) -> str:
+    """Classify a tree as ``'star' | 'double-star' | 'other'``.
+
+    Alon et al. (SPAA'10): the MAX-SG's stable trees are exactly stars
+    and double stars; the SUM-SG's are stars.  The tree-dynamics tests
+    assert every converged tree lands in the right class.
+    """
+    if not is_tree(net.A):
+        return "not-a-tree"
+    if is_star(net.A):
+        return "star"
+    if is_double_star(net.A):
+        return "double-star"
+    return "other"

@@ -1,0 +1,81 @@
+"""Social cost, social optima and price-of-anarchy estimation.
+
+The paper motivates dynamics by the low price of anarchy of NCGs; this
+module provides the measurement side: social cost of a state, known
+social optima on trees, and sampled PoA ratios over converged runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.costs import DistanceMode
+from ..core.games import Game
+from ..core.network import Network
+from ..graphs import adjacency as adj
+
+__all__ = ["social_cost", "star_social_cost", "PoASample", "sample_price_of_anarchy"]
+
+
+def social_cost(game: Game, net: Network) -> float:
+    """Sum of all agents' costs under the game's cost model."""
+    return game.social_cost(net)
+
+
+def star_social_cost(n: int, mode: str, alpha: float = 0.0, owner_pays: bool = False) -> float:
+    """Social cost of the ``n``-vertex star (the SUM-optimal tree).
+
+    SUM distance part: the centre has distance ``n-1``; each leaf has
+    ``1 + 2(n-2)``.  MAX distance part: centre 1, leaves 2.  Edge part:
+    ``alpha * (n-1)`` in owner-pays games (counted once over all
+    owners), 0 otherwise.
+    """
+    if n <= 1:
+        return 0.0
+    if DistanceMode(mode) is DistanceMode.SUM:
+        dist = (n - 1) + (n - 1) * (1 + 2 * (n - 2))
+    else:
+        dist = 1 + 2 * (n - 1)
+    edge = alpha * (n - 1) if owner_pays else 0.0
+    return float(dist + edge)
+
+
+@dataclass
+class PoASample:
+    """Sampled price-of-anarchy statistics over converged dynamics runs."""
+
+    ratios: List[float]
+
+    @property
+    def max(self) -> float:
+        """Worst sampled cost ratio (the PoA estimate)."""
+        return max(self.ratios)
+
+    @property
+    def mean(self) -> float:
+        """Average sampled cost ratio (the price of stability side)."""
+        return float(np.mean(self.ratios))
+
+
+def sample_price_of_anarchy(
+    game: Game,
+    finals: List[Network],
+    optimum: Optional[float] = None,
+) -> PoASample:
+    """Ratio of converged states' social cost to a reference optimum.
+
+    When ``optimum`` is omitted the star's social cost is used as the
+    reference (exact for trees under SUM; a good proxy otherwise).
+    """
+    if not finals:
+        raise ValueError("no final networks given")
+    n = finals[0].n
+    if optimum is None:
+        optimum = star_social_cost(
+            n, game.mode.value, alpha=game.alpha, owner_pays=game.alpha > 0
+        )
+    ratios = [social_cost(game, f) / optimum for f in finals]
+    return PoASample(ratios)

@@ -1,0 +1,72 @@
+"""Aggregation of convergence-time measurements.
+
+The paper reports, per configuration, the *average* and *maximum*
+number of steps until convergence over many random trials (Figures 7,
+8, 11–14).  :class:`ConvergenceStats` is the container both the
+experiment runner and the benches use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["ConvergenceStats"]
+
+
+@dataclass
+class ConvergenceStats:
+    """Step counts of a batch of runs for one configuration."""
+
+    steps: List[int] = field(default_factory=list)
+    non_converged: int = 0
+
+    def add(self, steps: int, converged: bool) -> None:
+        """Record one run's outcome."""
+        if converged:
+            self.steps.append(int(steps))
+        else:
+            self.non_converged += 1
+
+    @property
+    def trials(self) -> int:
+        """Total runs recorded (converged or not)."""
+        return len(self.steps) + self.non_converged
+
+    @property
+    def mean(self) -> float:
+        """Mean steps over converged runs (NaN when empty)."""
+        return float(np.mean(self.steps)) if self.steps else float("nan")
+
+    @property
+    def max(self) -> int:
+        """Worst converged run (0 when empty)."""
+        return max(self.steps) if self.steps else 0
+
+    @property
+    def min(self) -> int:
+        """Best converged run (0 when empty)."""
+        return min(self.steps) if self.steps else 0
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile of converged step counts."""
+        return float(np.percentile(self.steps, q)) if self.steps else float("nan")
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict summary for JSON reports."""
+        return {
+            "trials": self.trials,
+            "mean": self.mean,
+            "max": self.max,
+            "min": self.min,
+            "p95": self.percentile(95),
+            "non_converged": self.non_converged,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ConvergenceStats(trials={self.trials}, mean={self.mean:.1f}, "
+            f"max={self.max}, non_converged={self.non_converged})"
+        )

@@ -1,0 +1,92 @@
+"""Trajectory analytics: per-step structural series of a dynamics run.
+
+The paper's discussion reasons about what happens *along* runs (social
+cost decay, diameter evolution, which agents move, operation phases).
+:func:`trace_run` replays a recorded trajectory and collects those
+series; :func:`summarize` condenses them for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.dynamics import RunResult
+from ..core.games import Game
+from ..core.network import Network
+from ..graphs import adjacency as adj
+
+__all__ = ["TrajectoryTrace", "trace_run", "summarize"]
+
+
+@dataclass
+class TrajectoryTrace:
+    """Structural series along one run (length = steps + 1 states)."""
+
+    social_cost: List[float] = field(default_factory=list)
+    diameter: List[float] = field(default_factory=list)
+    edge_count: List[int] = field(default_factory=list)
+    max_agent_cost: List[float] = field(default_factory=list)
+    mover: List[int] = field(default_factory=list)  # length = steps
+    kind: List[str] = field(default_factory=list)
+
+    @property
+    def steps(self) -> int:
+        """Number of moves in the traced run."""
+        return len(self.mover)
+
+    def social_cost_monotone(self) -> bool:
+        """Whether the social cost never increased (true for potential
+        games like the SUM-SG on trees; false in general)."""
+        return all(b <= a + 1e-9 for a, b in zip(self.social_cost, self.social_cost[1:]))
+
+    def distinct_movers(self) -> int:
+        """How many different agents ever moved."""
+        return len(set(self.mover))
+
+
+def trace_run(game: Game, initial: Network, result: RunResult) -> TrajectoryTrace:
+    """Replay ``result.trajectory`` from ``initial`` and collect series.
+
+    ``result`` must have been produced with ``record_trajectory=True``
+    from the same ``initial`` state.
+    """
+    net = initial.copy()
+    trace = TrajectoryTrace()
+
+    def snapshot() -> None:
+        costs = game.cost_vector(net)
+        trace.social_cost.append(float(costs.sum()))
+        trace.max_agent_cost.append(float(costs.max()))
+        trace.diameter.append(adj.diameter(net.A))
+        trace.edge_count.append(net.m)
+
+    snapshot()
+    for rec in result.trajectory:
+        rec.move.apply(net)
+        trace.mover.append(rec.agent)
+        trace.kind.append(rec.kind)
+        snapshot()
+    if net.state_key() != result.final.state_key():
+        raise ValueError("trajectory does not replay to the recorded final state")
+    return trace
+
+
+def summarize(trace: TrajectoryTrace) -> Dict[str, object]:
+    """Condensed trajectory facts for reports and tests."""
+    return {
+        "steps": trace.steps,
+        "social_cost_initial": trace.social_cost[0],
+        "social_cost_final": trace.social_cost[-1],
+        "social_cost_monotone": trace.social_cost_monotone(),
+        "diameter_initial": trace.diameter[0],
+        "diameter_final": trace.diameter[-1],
+        "edges_initial": trace.edge_count[0],
+        "edges_final": trace.edge_count[-1],
+        "distinct_movers": trace.distinct_movers(),
+        "kind_counts": dict(
+            zip(*np.unique(trace.kind, return_counts=True))
+        ) if trace.kind else {},
+    }

@@ -1,0 +1,73 @@
+"""Core engine: networks, costs, games, policies and dynamics."""
+
+from .best_response import DeviationEvaluator
+from .costs import (
+    EQUAL_SPLIT,
+    OWNER_PAYS,
+    SWAP_EDGE_COST,
+    DistanceMode,
+    EdgeCostRule,
+    agent_cost,
+    cost_vector,
+    distance_costs,
+    social_cost,
+)
+from .dynamics import RunResult, StepRecord, choose_move, run_dynamics
+from .games import (
+    EPS,
+    AsymmetricSwapGame,
+    BestResponse,
+    BilateralGame,
+    BuyGame,
+    Game,
+    GreedyBuyGame,
+    SwapGame,
+)
+from .moves import Buy, Delete, Move, StrategyChange, Swap, move_kind
+from .network import Network
+from .policies import (
+    FirstUnhappyPolicy,
+    MaxCostPolicy,
+    MovePolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    ScriptedPolicy,
+)
+
+__all__ = [
+    "Network",
+    "DistanceMode",
+    "EdgeCostRule",
+    "SWAP_EDGE_COST",
+    "OWNER_PAYS",
+    "EQUAL_SPLIT",
+    "agent_cost",
+    "cost_vector",
+    "distance_costs",
+    "social_cost",
+    "Swap",
+    "Buy",
+    "Delete",
+    "StrategyChange",
+    "Move",
+    "move_kind",
+    "Game",
+    "SwapGame",
+    "AsymmetricSwapGame",
+    "GreedyBuyGame",
+    "BuyGame",
+    "BilateralGame",
+    "BestResponse",
+    "EPS",
+    "DeviationEvaluator",
+    "MovePolicy",
+    "MaxCostPolicy",
+    "RandomPolicy",
+    "FirstUnhappyPolicy",
+    "RoundRobinPolicy",
+    "ScriptedPolicy",
+    "run_dynamics",
+    "RunResult",
+    "StepRecord",
+    "choose_move",
+]

@@ -1,0 +1,118 @@
+"""Vectorized deviation evaluation — the ``D(G-u)`` factorization.
+
+The hot loop of every experiment in the paper is: *given agent ``u`` in
+network ``G``, evaluate all of ``u``'s admissible strategy-changes*.
+
+The key observation (used already by Lenzner [WINE'12] for the greedy
+buy game, and the reason best responses are polynomial there) is that a
+shortest path from ``u`` never revisits ``u``, hence for **any**
+neighbour set ``N'`` of ``u``::
+
+    d_{G'}(u, x) = 1 + min_{w in N'} d_{G-u}(w, x)        (x != u)
+
+where ``G - u`` is ``G`` with ``u`` removed — a graph that does not
+depend on the candidate strategy at all.  So one APSP of ``G - u``
+(`~diameter` boolean matmuls) prices *every* deviation of ``u``:
+
+* a single candidate set costs one ``min`` reduction over its rows;
+* all ``O(n)`` single-edge variants (the swap/buy/delete moves) cost one
+  vectorized ``np.minimum(base, 1 + D[candidates])`` pass.
+
+No per-candidate BFS ever runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..graphs import adjacency as adj
+from .costs import DistanceMode
+from .network import Network
+
+__all__ = ["DeviationEvaluator"]
+
+
+class DeviationEvaluator:
+    """Prices all deviations of one agent in one network state.
+
+    Parameters
+    ----------
+    net:
+        the current network.
+    u:
+        the deviating agent.
+    mode:
+        SUM or MAX distance aggregation.
+
+    Notes
+    -----
+    The evaluator computes ``D = APSP(G - u)`` once at construction.
+    All methods then treat a *strategy* as the full neighbour set the
+    agent would have after the deviation (callers add back the incident
+    edges owned by other agents, which the deviator cannot touch).
+    """
+
+    def __init__(self, net: Network, u: int, mode: DistanceMode):
+        self.net = net
+        self.u = int(u)
+        self.n = net.n
+        self.mode = mode
+        self.D = adj.distances_without_vertex(net.A, self.u)
+
+    # -- scalar evaluation -------------------------------------------------
+    def distance_vector(self, neighbor_ids: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Distance vector of ``u`` if its neighbour set were ``neighbor_ids``."""
+        ids = np.asarray(list(neighbor_ids), dtype=np.int64)
+        row = np.full(self.n, np.inf)
+        if ids.size:
+            row = 1.0 + self.D[ids].min(axis=0)
+        row[self.u] = 0.0
+        return row
+
+    def distance_cost(self, neighbor_ids: Sequence[int] | np.ndarray) -> float:
+        """SUM/MAX distance-cost of the hypothetical neighbour set."""
+        row = self.distance_vector(neighbor_ids)
+        if self.n == 1:
+            return 0.0
+        return self.mode.aggregate(row)
+
+    # -- batch evaluation --------------------------------------------------
+    def base_vector(self, kept_ids: Sequence[int] | np.ndarray) -> np.ndarray:
+        """``min_{w in kept} (1 + D[w])`` — the part of the strategy that
+        stays fixed while one endpoint varies.  All-``inf`` when empty."""
+        ids = np.asarray(list(kept_ids), dtype=np.int64)
+        if ids.size == 0:
+            return np.full(self.n, np.inf)
+        return 1.0 + self.D[ids].min(axis=0)
+
+    def batch_costs(
+        self,
+        base: np.ndarray,
+        candidates: Sequence[int] | np.ndarray,
+    ) -> np.ndarray:
+        """Distance-cost of ``base``-plus-one-candidate, per candidate.
+
+        ``base`` is a vector from :meth:`base_vector`; ``candidates`` are
+        the varying new endpoints.  Returns a float vector aligned with
+        ``candidates``.
+        """
+        cand = np.asarray(list(candidates), dtype=np.int64)
+        if cand.size == 0:
+            return np.empty(0)
+        M = np.minimum(base[None, :], 1.0 + self.D[cand])
+        M[:, self.u] = 0.0
+        if self.mode is DistanceMode.SUM:
+            return M.sum(axis=1)
+        if self.n == 1:
+            return np.zeros(cand.size)
+        return M.max(axis=1)
+
+    def cost_of_base(self, base: np.ndarray) -> float:
+        """Distance-cost of a base vector alone (used for deletions)."""
+        row = base.copy()
+        row[self.u] = 0.0
+        if self.n == 1:
+            return 0.0
+        return self.mode.aggregate(row)

@@ -1,0 +1,133 @@
+"""Agent cost functions — Section 1.1 of the paper.
+
+An agent ``u``'s cost in network ``G`` is::
+
+    c_G(u) = e_G(u) + delta_G(u)
+
+where the *edge-cost* ``e_G(u)`` is ``alpha * (#edges owned by u)`` in
+the unilateral games (BG/GBG), ``alpha/2 * deg(u)`` in the bilateral
+equal-split game, and 0 in the swap games (SG/ASG); and the
+*distance-cost* ``delta_G(u)`` is either the sum of distances
+(SUM-version) or the eccentricity (MAX-version), with disconnected
+networks costing ``inf``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable
+
+import numpy as np
+
+from ..graphs import adjacency as adj
+from .network import Network
+
+__all__ = [
+    "DistanceMode",
+    "distance_cost_from_vector",
+    "distance_costs",
+    "agent_cost",
+    "cost_vector",
+    "social_cost",
+    "EdgeCostRule",
+    "SWAP_EDGE_COST",
+    "OWNER_PAYS",
+    "EQUAL_SPLIT",
+]
+
+
+class DistanceMode(str, Enum):
+    """SUM- or MAX-version of the distance-cost function."""
+
+    SUM = "sum"
+    MAX = "max"
+
+    def aggregate(self, dist_row: np.ndarray, self_index: int | None = None) -> float:
+        """Aggregate a distance vector into a distance-cost scalar.
+
+        ``dist_row`` may contain ``inf`` (disconnection), which
+        propagates to the result under both aggregations.  The agent's
+        own entry is 0 and does not affect either aggregation, so no
+        masking is required.
+        """
+        if self is DistanceMode.SUM:
+            return float(dist_row.sum())
+        return float(dist_row.max())
+
+
+# --- edge-cost rules ---------------------------------------------------
+
+
+class EdgeCostRule:
+    """How the edge price alpha is charged to an agent."""
+
+    def __init__(self, fn: Callable[[Network, int, float], float], name: str):
+        self._fn = fn
+        self.name = name
+
+    def __call__(self, net: Network, u: int, alpha: float) -> float:
+        return self._fn(net, u, alpha)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EdgeCostRule({self.name})"
+
+
+#: swap games: no edge-cost term at all.
+SWAP_EDGE_COST = EdgeCostRule(lambda net, u, alpha: 0.0, "none")
+
+#: the unilateral buy games: owner pays alpha per owned edge.
+OWNER_PAYS = EdgeCostRule(
+    lambda net, u, alpha: alpha * net.edges_owned_count(u), "owner-pays"
+)
+
+#: bilateral equal-split: both endpoints pay alpha/2 per incident edge.
+EQUAL_SPLIT = EdgeCostRule(
+    lambda net, u, alpha: (alpha / 2.0) * net.degree(u), "equal-split"
+)
+
+
+def distance_costs(net: Network, mode: DistanceMode) -> np.ndarray:
+    """Distance-cost of every agent (vector of length ``n``)."""
+    D = adj.all_pairs_distances(net.A)
+    if mode is DistanceMode.SUM:
+        return D.sum(axis=1)
+    return D.max(axis=1)
+
+
+def distance_cost_from_vector(dist_row: np.ndarray, mode: DistanceMode) -> float:
+    """Distance-cost from a precomputed single-source distance vector."""
+    return mode.aggregate(dist_row)
+
+
+def agent_cost(
+    net: Network,
+    u: int,
+    mode: DistanceMode,
+    alpha: float = 0.0,
+    edge_rule: EdgeCostRule = SWAP_EDGE_COST,
+) -> float:
+    """Full cost ``c_G(u)`` of a single agent."""
+    dist = adj.bfs_distances(net.A, u)
+    return edge_rule(net, u, alpha) + mode.aggregate(dist)
+
+
+def cost_vector(
+    net: Network,
+    mode: DistanceMode,
+    alpha: float = 0.0,
+    edge_rule: EdgeCostRule = SWAP_EDGE_COST,
+) -> np.ndarray:
+    """Vector of all agents' costs."""
+    delta = distance_costs(net, mode)
+    edge = np.array([edge_rule(net, u, alpha) for u in range(net.n)])
+    return edge + delta
+
+
+def social_cost(
+    net: Network,
+    mode: DistanceMode,
+    alpha: float = 0.0,
+    edge_rule: EdgeCostRule = SWAP_EDGE_COST,
+) -> float:
+    """Sum of all agents' costs (the paper's social welfare measure)."""
+    return float(cost_vector(net, mode, alpha=alpha, edge_rule=edge_rule).sum())

@@ -1,0 +1,168 @@
+"""The sequential network creation process (Section 1.1).
+
+:func:`run_dynamics` iterates: the move policy picks an unhappy agent,
+that agent plays a best response (ties broken by the configured rule),
+the network is updated.  The run ends when
+
+* no agent is unhappy (**converged** — the network is stable, i.e. a
+  pure Nash equilibrium of the underlying game),
+* an exact state repeats while cycle detection is on (**cycled** — the
+  trajectory entered a better-response cycle), or
+* ``max_steps`` is exhausted (**exhausted**).
+
+The trajectory records every move with its operation kind, so the
+phase-structure analysis of Section 4.2.2 (deletion phase / swap phase /
+cleanup) falls out of ``RunResult.move_counts`` /
+``RunResult.kind_trajectory``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .games import BestResponse, Game
+from .moves import Move, move_kind
+from .network import Network
+from .policies import MovePolicy
+
+__all__ = ["StepRecord", "RunResult", "run_dynamics", "choose_move"]
+
+
+@dataclass
+class StepRecord:
+    """One step of the process: agent, move, and the cost it saved."""
+
+    step: int
+    agent: int
+    move: Move
+    kind: str
+    cost_before: float
+    cost_after: float
+
+    @property
+    def improvement(self) -> float:
+        """Cost the mover saved in this step."""
+        return self.cost_before - self.cost_after
+
+
+@dataclass
+class RunResult:
+    """Outcome of a dynamics run."""
+
+    status: str  # "converged" | "cycled" | "exhausted"
+    steps: int
+    final: Network
+    trajectory: List[StepRecord] = field(default_factory=list)
+    cycle_start: Optional[int] = None
+
+    @property
+    def converged(self) -> bool:
+        """Whether the run reached a stable network."""
+        return self.status == "converged"
+
+    @property
+    def cycled(self) -> bool:
+        """Whether a previously visited state recurred."""
+        return self.status == "cycled"
+
+    @property
+    def move_counts(self) -> Counter:
+        """Operation mix of the run (buy/delete/swap/multi counts)."""
+        return Counter(rec.kind for rec in self.trajectory)
+
+    @property
+    def kind_trajectory(self) -> List[str]:
+        """Operation kind (buy/delete/swap/multi) per step, in order."""
+        return [rec.kind for rec in self.trajectory]
+
+    @property
+    def cycle_length(self) -> Optional[int]:
+        """Length of the detected cycle, or ``None``."""
+        if self.cycle_start is None:
+            return None
+        return self.steps - self.cycle_start
+
+
+def choose_move(br: BestResponse, rng: np.random.Generator, tie_break: str = "random") -> Move:
+    """Pick one move out of a best-response set.
+
+    ``"random"`` implements the paper's uniform tie-breaking among best
+    moves; ``"first"`` takes the deterministically first one (GBG
+    preference order: delete < swap < buy, then lexicographic), which the
+    paper also evaluates ("we prefer deletions before swaps before
+    additions").
+    """
+    if not br.moves:
+        raise ValueError("best response set is empty")
+    if tie_break == "random":
+        return br.moves[int(rng.integers(len(br.moves)))]
+    if tie_break == "first":
+        return br.moves[0]
+    raise ValueError("tie_break must be 'random' or 'first'")
+
+
+def run_dynamics(
+    game: Game,
+    initial: Network,
+    policy: MovePolicy,
+    max_steps: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    move_tie_break: str = "random",
+    record_trajectory: bool = True,
+    detect_cycles: bool = False,
+    copy_initial: bool = True,
+) -> RunResult:
+    """Run the sequential-move process until stability (or not).
+
+    Parameters
+    ----------
+    game, initial, policy:
+        the game type, initial network ``G_0`` and move policy.
+    max_steps:
+        hard step limit; hitting it yields ``status == "exhausted"``.
+    rng / seed:
+        randomness source for the policy and tie-breaking.  Exactly one
+        may be given; default is a fresh default_rng().
+    move_tie_break:
+        how the moving agent picks among equally good best responses.
+    detect_cycles:
+        hash every visited state (ownership-sensitive) and stop with
+        ``status == "cycled"`` on the first revisit.
+    copy_initial:
+        work on a copy of ``initial`` (default) or mutate it in place.
+    """
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    net = initial.copy() if copy_initial else initial
+    policy.reset()
+    trajectory: List[StepRecord] = []
+    seen: Dict[bytes, int] = {}
+    if detect_cycles:
+        seen[net.state_key()] = 0
+
+    for step in range(max_steps):
+        br = policy.select(game, net, rng)
+        if br is None:
+            return RunResult("converged", step, net, trajectory)
+        move = choose_move(br, rng, move_tie_break)
+        kind = move_kind(move, net)
+        move.apply(net)
+        policy.notify(br.agent)
+        if record_trajectory:
+            trajectory.append(
+                StepRecord(step, br.agent, move, kind, br.cost_before, br.best_cost)
+            )
+        if detect_cycles:
+            key = net.state_key()
+            if key in seen:
+                return RunResult("cycled", step + 1, net, trajectory, cycle_start=seen[key])
+            seen[key] = step + 1
+
+    return RunResult("exhausted", max_steps, net, trajectory)

@@ -1,0 +1,519 @@
+"""The game types of Section 1.1: SG, ASG, GBG, BG and the bilateral game.
+
+Each game object is stateless configuration (distance mode, edge price
+``alpha``, optional host graph); the network is passed to every call.
+The central API:
+
+* :meth:`Game.current_cost`     — ``c_G(u)``
+* :meth:`Game.candidate_moves`  — all admissible strategy-changes of ``u``
+* :meth:`Game.improving_moves`  — those that strictly decrease ``u``'s cost
+* :meth:`Game.best_responses`   — the set of *best possible* moves
+* :meth:`Game.is_unhappy`       — whether an improving move exists
+
+Host graphs (Corollaries 3.6 and 4.2) restrict which edges may ever be
+created: a move is admissible only if every edge it creates is an edge
+of the host graph.
+
+Tolerance: costs are sums of integers and multiples of ``alpha``; all
+strict comparisons use ``EPS = 1e-9``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs import adjacency as adj
+from .best_response import DeviationEvaluator
+from .costs import (
+    EQUAL_SPLIT,
+    OWNER_PAYS,
+    SWAP_EDGE_COST,
+    DistanceMode,
+    EdgeCostRule,
+)
+from .moves import Buy, Delete, Move, StrategyChange, Swap
+from .network import Network
+
+__all__ = [
+    "EPS",
+    "BestResponse",
+    "Game",
+    "SwapGame",
+    "AsymmetricSwapGame",
+    "GreedyBuyGame",
+    "BuyGame",
+    "BilateralGame",
+]
+
+EPS = 1e-9
+
+#: GBG tie preference (Section 4.2.1): deletions before swaps before buys.
+_OP_RANK = {"delete": 0, "swap": 1, "buy": 2, "multi": 3}
+
+
+def _op_rank(move: Move) -> int:
+    if isinstance(move, Delete):
+        return _OP_RANK["delete"]
+    if isinstance(move, Swap):
+        return _OP_RANK["swap"]
+    if isinstance(move, Buy):
+        return _OP_RANK["buy"]
+    return _OP_RANK["multi"]
+
+
+@dataclass
+class BestResponse:
+    """Result of a best-response computation for one agent.
+
+    ``moves`` lists *all* admissible moves achieving ``best_cost``
+    (within ``EPS``), ordered deterministically: by the paper's GBG
+    operation preference (delete < swap < buy), then by move fields.
+    Empty iff no admissible move improves on ``cost_before``.
+    """
+
+    agent: int
+    cost_before: float
+    best_cost: float
+    moves: List[Move] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Cost saved by a best move (0 when no improving move exists)."""
+        return self.cost_before - self.best_cost
+
+    @property
+    def is_improving(self) -> bool:
+        """Whether the agent has any strictly improving move."""
+        return bool(self.moves) and self.best_cost < self.cost_before - EPS
+
+
+def _collect_best(
+    agent: int,
+    cost_before: float,
+    scored: Iterable[Tuple[Move, float]],
+) -> BestResponse:
+    best = np.inf
+    best_moves: List[Tuple[Move, float]] = []
+    for move, cost in scored:
+        if cost < best - EPS:
+            best = cost
+            best_moves = [(move, cost)]
+        elif cost <= best + EPS:
+            best_moves.append((move, cost))
+    if not best_moves or best >= cost_before - EPS:
+        return BestResponse(agent, cost_before, cost_before, [])
+    ordered = sorted(best_moves, key=lambda mc: (_op_rank(mc[0]), _move_sort_key(mc[0])))
+    return BestResponse(agent, cost_before, best, [m for m, _ in ordered])
+
+
+def _move_sort_key(move: Move):
+    if isinstance(move, Swap):
+        return (move.old, move.new)
+    if isinstance(move, (Buy, Delete)):
+        return (move.target, -1)
+    return (tuple(sorted(move.new_targets)), -2)
+
+
+class Game:
+    """Common behaviour of all game types."""
+
+    #: human-readable name, set by subclasses
+    name: str = "game"
+
+    def __init__(
+        self,
+        mode: DistanceMode | str,
+        alpha: float = 0.0,
+        host: Optional[np.ndarray] = None,
+        edge_rule: EdgeCostRule = SWAP_EDGE_COST,
+    ):
+        self.mode = DistanceMode(mode)
+        self.alpha = float(alpha)
+        self.edge_rule = edge_rule
+        if host is not None:
+            host = np.asarray(host, dtype=bool)
+            adj.validate_adjacency(host)
+        self.host = host
+
+    # -- helpers -----------------------------------------------------------
+    def _allowed_targets(self, net: Network, u: int) -> np.ndarray:
+        """Boolean mask of vertices ``u`` may create an edge towards."""
+        ok = np.ones(net.n, dtype=bool)
+        ok[u] = False
+        if self.host is not None:
+            ok &= self.host[u]
+        return ok
+
+    def current_cost(self, net: Network, u: int) -> float:
+        """``c_G(u)``: edge-cost plus SUM/MAX distance-cost."""
+        dist = adj.bfs_distances(net.A, u)
+        if net.n == 1:
+            return self.edge_rule(net, u, self.alpha)
+        return self.edge_rule(net, u, self.alpha) + self.mode.aggregate(dist)
+
+    def cost_vector(self, net: Network) -> np.ndarray:
+        """All agents' costs in one APSP pass."""
+        D = adj.all_pairs_distances(net.A)
+        if self.mode is DistanceMode.SUM:
+            delta = D.sum(axis=1)
+        else:
+            delta = D.max(axis=1) if net.n > 1 else np.zeros(net.n)
+        edge = np.array([self.edge_rule(net, u, self.alpha) for u in range(net.n)])
+        return edge + delta
+
+    def social_cost(self, net: Network) -> float:
+        """Sum of all agents' costs."""
+        return float(self.cost_vector(net).sum())
+
+    # -- core API (subclasses implement _scored_moves) ---------------------
+    def _scored_moves(self, net: Network, u: int) -> Iterable[Tuple[Move, float]]:
+        """Yield ``(move, new_cost_of_u)`` for every admissible move."""
+        raise NotImplementedError
+
+    def candidate_moves(self, net: Network, u: int) -> List[Move]:
+        """All admissible strategy-changes of ``u`` (improving or not)."""
+        return [m for m, _ in self._scored_moves(net, u)]
+
+    def evaluate_move(self, net: Network, u: int, move: Move) -> float:
+        """Cost of ``u`` after applying ``move`` (generic apply/undo path)."""
+        work = net.copy()
+        move.apply(work)
+        return self.current_cost(work, u)
+
+    def improving_moves(self, net: Network, u: int) -> List[Tuple[Move, float]]:
+        """Admissible moves that strictly decrease ``u``'s cost."""
+        cur = self.current_cost(net, u)
+        return [(m, c) for m, c in self._scored_moves(net, u) if c < cur - EPS]
+
+    def best_responses(self, net: Network, u: int) -> BestResponse:
+        """All cost-minimising admissible moves of ``u`` (see
+        :class:`BestResponse`); empty move list when ``u`` is happy."""
+        cur = self.current_cost(net, u)
+        return _collect_best(u, cur, self._scored_moves(net, u))
+
+    def is_unhappy(self, net: Network, u: int) -> bool:
+        """Whether ``u`` has at least one improving move."""
+        cur = self.current_cost(net, u)
+        for _, c in self._scored_moves(net, u):
+            if c < cur - EPS:
+                return True
+        return False
+
+    def unhappy_agents(self, net: Network) -> List[int]:
+        """The set ``U_i`` of Section 1.1."""
+        return [u for u in range(net.n) if self.is_unhappy(net, u)]
+
+    def is_stable(self, net: Network) -> bool:
+        """``True`` iff no agent has an improving move (pure NE)."""
+        return not self.unhappy_agents(net)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(mode={self.mode.value}, alpha={self.alpha})"
+
+
+# ---------------------------------------------------------------------------
+# Swap games
+# ---------------------------------------------------------------------------
+
+
+class SwapGame(Game):
+    """The Swap Game of Alon et al. (SPAA'10) — "Basic NCG".
+
+    An agent's strategy is its *neighbourhood*; a move replaces one
+    neighbour by a non-neighbour.  Either endpoint may swap an edge, and
+    ownership is ignored entirely.  No edge-cost term.
+
+    ``max_swaps`` enables the *multi-swap* extension the paper's
+    Theorems 2.16 and 3.3 also cover: a single move may replace up to
+    ``max_swaps`` movable edges at once (the default 1 is the standard
+    game).  Multi-moves are emitted as :class:`StrategyChange` objects.
+    """
+
+    name = "SG"
+
+    def __init__(
+        self,
+        mode: DistanceMode | str,
+        host: Optional[np.ndarray] = None,
+        max_swaps: int = 1,
+    ):
+        super().__init__(mode, alpha=0.0, host=host, edge_rule=SWAP_EDGE_COST)
+        if max_swaps < 1:
+            raise ValueError("max_swaps must be >= 1")
+        self.max_swaps = max_swaps
+
+    def _swap_sources(self, net: Network, u: int) -> np.ndarray:
+        """Edges ``u`` may move: in the SG, every incident edge."""
+        return net.neighbors(u)
+
+    def _fixed_neighbors(self, net: Network, u: int) -> List[int]:
+        """Neighbours ``u`` cannot detach from (none in the SG)."""
+        return []
+
+    def _scored_moves(self, net: Network, u: int):
+        evaluator = DeviationEvaluator(net, u, self.mode)
+        nbrs = net.neighbors(u)
+        allowed = self._allowed_targets(net, u)
+        allowed[nbrs] = False  # cannot swap onto an existing neighbour
+        candidates = np.flatnonzero(allowed)
+        if candidates.size == 0:
+            return
+        sources = self._swap_sources(net, u)
+        nbr_set = set(nbrs.tolist())
+        for v in sources:
+            kept = sorted(nbr_set - {int(v)})
+            base = evaluator.base_vector(kept)
+            costs = evaluator.batch_costs(base, candidates)
+            for w, c in zip(candidates.tolist(), costs.tolist()):
+                yield Swap(u, int(v), w), c
+        if self.max_swaps > 1:
+            yield from self._multi_swap_moves(net, u, evaluator, candidates)
+
+    def _multi_swap_moves(self, net: Network, u: int, evaluator, candidates):
+        """Strategy changes replacing 2..max_swaps movable edges at once.
+
+        Enumerated exhaustively; intended for the paper's instance sizes
+        (the multi-swap claims of Theorems 2.16/3.3), not for sweeps.
+        """
+        sources = [int(v) for v in self._swap_sources(net, u)]
+        fixed = self._fixed_neighbors(net, u)
+        pool = candidates.tolist()
+        all_nbrs = set(net.neighbors(u).tolist())
+        for k in range(2, min(self.max_swaps, len(sources)) + 1):
+            for removed in itertools.combinations(sources, k):
+                kept = sorted((all_nbrs - set(removed)) | set(fixed))
+                for added in itertools.combinations(pool, k):
+                    new_neighbors = kept + list(added)
+                    cost = self.alpha_cost_of(net, u) + evaluator.distance_cost(new_neighbors)
+                    yield self._make_multi_move(net, u, removed, added), cost
+
+    def alpha_cost_of(self, net: Network, u: int) -> float:
+        """Edge-cost term after a swap (count-preserving, so unchanged)."""
+        return self.edge_rule(net, u, self.alpha)
+
+    def _make_multi_move(self, net: Network, u: int, removed, added) -> Move:
+        # In the SG a multi-swap may move edges owned by others; express
+        # it as a bilateral-style neighbourhood replacement.
+        new_nbrs = (set(net.neighbors(u).tolist()) - set(removed)) | set(added)
+        return StrategyChange(u, frozenset(new_nbrs), bilateral=True)
+
+
+class AsymmetricSwapGame(SwapGame):
+    """The ASG of Mihalák & Schlegel (MFCS'12): only owners swap."""
+
+    name = "ASG"
+
+    def _swap_sources(self, net: Network, u: int) -> np.ndarray:
+        return net.owned_targets(u)
+
+    def _fixed_neighbors(self, net: Network, u: int) -> List[int]:
+        return net.incoming_neighbors(u).tolist()
+
+    def _make_multi_move(self, net: Network, u: int, removed, added) -> Move:
+        new_targets = (set(net.owned_targets(u).tolist()) - set(removed)) | set(added)
+        return StrategyChange(u, frozenset(new_targets))
+
+
+# ---------------------------------------------------------------------------
+# Buy games
+# ---------------------------------------------------------------------------
+
+
+class GreedyBuyGame(Game):
+    """The Greedy Buy Game (Lenzner, WINE'12).
+
+    One move buys, deletes or swaps a single own edge.  Edge price
+    ``alpha`` is paid per owned edge.
+    """
+
+    name = "GBG"
+
+    def __init__(self, mode: DistanceMode | str, alpha: float, host: Optional[np.ndarray] = None):
+        super().__init__(mode, alpha=alpha, host=host, edge_rule=OWNER_PAYS)
+
+    def _scored_moves(self, net: Network, u: int):
+        evaluator = DeviationEvaluator(net, u, self.mode)
+        nbrs = net.neighbors(u)
+        owned = net.owned_targets(u)
+        k = owned.size
+        nbr_set = set(nbrs.tolist())
+        allowed = self._allowed_targets(net, u)
+        allowed[nbrs] = False
+        candidates = np.flatnonzero(allowed)
+
+        # buys: keep everything, add one endpoint
+        if candidates.size:
+            base_all = evaluator.base_vector(nbrs)
+            buy_costs = evaluator.batch_costs(base_all, candidates)
+            buy_edge = self.alpha * (k + 1)
+            for w, c in zip(candidates.tolist(), buy_costs.tolist()):
+                yield Buy(u, w), buy_edge + c
+
+        # deletes and swaps: drop one owned endpoint
+        for v in owned.tolist():
+            kept = sorted(nbr_set - {v})
+            base = evaluator.base_vector(kept)
+            yield Delete(u, v), self.alpha * (k - 1) + evaluator.cost_of_base(base)
+            if candidates.size:
+                swap_costs = evaluator.batch_costs(base, candidates)
+                swap_edge = self.alpha * k
+                for w, c in zip(candidates.tolist(), swap_costs.tolist()):
+                    yield Swap(u, v, w), swap_edge + c
+
+
+class BuyGame(Game):
+    """The original NCG of Fabrikant et al. (PODC'03).
+
+    A move replaces the owned-target set by *any* subset of the other
+    vertices.  Computing best responses is NP-hard in general; this
+    implementation enumerates all ``2^(n-1-#incoming)`` strategies and is
+    intended for the paper's small counterexample instances
+    (``n <= max_enumeration_agents``).
+    """
+
+    name = "BG"
+
+    def __init__(
+        self,
+        mode: DistanceMode | str,
+        alpha: float,
+        host: Optional[np.ndarray] = None,
+        max_enumeration_agents: int = 16,
+    ):
+        super().__init__(mode, alpha=alpha, host=host, edge_rule=OWNER_PAYS)
+        self.max_enumeration_agents = max_enumeration_agents
+
+    def _scored_moves(self, net: Network, u: int):
+        if net.n > self.max_enumeration_agents:
+            raise ValueError(
+                f"BuyGame strategy enumeration limited to n <= "
+                f"{self.max_enumeration_agents} agents (best response is NP-hard); "
+                "use GreedyBuyGame for larger networks"
+            )
+        evaluator = DeviationEvaluator(net, u, self.mode)
+        incoming = set(net.incoming_neighbors(u).tolist())
+        current = frozenset(net.owned_targets(u).tolist())
+        allowed = self._allowed_targets(net, u)
+        # buying an edge parallel to an incoming one never changes the
+        # topology but costs alpha, so it is never part of a best response;
+        # excluding those targets keeps enumeration small and sound.
+        pool = [w for w in np.flatnonzero(allowed).tolist() if w not in incoming]
+        fixed = sorted(incoming)
+        for r in range(len(pool) + 1):
+            for combo in itertools.combinations(pool, r):
+                S = frozenset(combo)
+                if S == current:
+                    continue
+                dist = evaluator.distance_cost(list(S) + fixed)
+                yield StrategyChange(u, S), self.alpha * len(S) + dist
+
+
+# ---------------------------------------------------------------------------
+# Bilateral equal-split game (Corbo & Parkes, PODC'05)
+# ---------------------------------------------------------------------------
+
+
+class BilateralGame(Game):
+    """Bilateral network formation with equal-split edge costs.
+
+    An agent's strategy is its neighbourhood; each endpoint of an edge
+    pays ``alpha/2``.  A strategy change is *feasible* iff no newly added
+    neighbour's cost strictly increases (they must "selfishly agree");
+    deletions are unilateral.  ``improving_moves``/``best_responses``
+    return only feasible improving changes, matching the paper's
+    definition of a move.
+    """
+
+    name = "BBG"
+
+    def __init__(
+        self,
+        mode: DistanceMode | str,
+        alpha: float,
+        host: Optional[np.ndarray] = None,
+        max_enumeration_agents: int = 14,
+    ):
+        super().__init__(mode, alpha=alpha, host=host, edge_rule=EQUAL_SPLIT)
+        self.max_enumeration_agents = max_enumeration_agents
+
+    # -- feasibility --------------------------------------------------------
+    def blocking_agents(self, net: Network, move: StrategyChange) -> List[int]:
+        """Agents who would block ``move`` (their cost strictly increases).
+
+        Only newly added neighbours may block.  Returns an empty list for
+        feasible moves.
+        """
+        u = move.agent
+        old = set(net.neighbors(u).tolist())
+        added = sorted(set(move.new_targets) - old)
+        if not added:
+            return []
+        before = {v: self.current_cost(net, v) for v in added}
+        work = net.copy()
+        move.apply(work)
+        blockers = [v for v in added if self.current_cost(work, v) > before[v] + EPS]
+        return blockers
+
+    def feasible(self, net: Network, move: StrategyChange) -> bool:
+        """Whether no newly added neighbour blocks the move."""
+        return not self.blocking_agents(net, move)
+
+    # -- enumeration ---------------------------------------------------------
+    def _strategy_space(self, net: Network, u: int):
+        if net.n > self.max_enumeration_agents:
+            raise ValueError(
+                f"BilateralGame strategy enumeration limited to n <= "
+                f"{self.max_enumeration_agents} agents"
+            )
+        allowed = self._allowed_targets(net, u)
+        pool = np.flatnonzero(allowed).tolist()
+        current = frozenset(net.neighbors(u).tolist())
+        for r in range(len(pool) + 1):
+            for combo in itertools.combinations(pool, r):
+                S = frozenset(combo)
+                if S != current:
+                    yield S
+
+    def _scored_moves(self, net: Network, u: int):
+        """Yield feasible moves with their cost.
+
+        Cheap cost screening happens *before* the (expensive) consent
+        check: only strategies at least as good as the current one get a
+        feasibility test.  This keeps the enumeration usable at the
+        paper's instance sizes.
+        """
+        evaluator = DeviationEvaluator(net, u, self.mode)
+        cur = self.current_cost(net, u)
+        for S in self._strategy_space(net, u):
+            dist = evaluator.distance_cost(sorted(S))
+            cost = (self.alpha / 2.0) * len(S) + dist
+            if cost >= cur - EPS:
+                continue
+            move = StrategyChange(u, S, bilateral=True)
+            if self.feasible(net, move):
+                yield move, cost
+
+    def improving_moves_with_blockers(
+        self, net: Network, u: int
+    ) -> List[Tuple[StrategyChange, float, List[int]]]:
+        """All cost-improving strategies with their blocking sets.
+
+        Unlike :meth:`improving_moves` this also reports *blocked*
+        improvements — the proofs of Theorems 5.1/5.2 reason explicitly
+        about which agent blocks which strategy, and the tests verify
+        those claims.
+        """
+        evaluator = DeviationEvaluator(net, u, self.mode)
+        cur = self.current_cost(net, u)
+        out = []
+        for S in self._strategy_space(net, u):
+            dist = evaluator.distance_cost(sorted(S))
+            cost = (self.alpha / 2.0) * len(S) + dist
+            if cost < cur - EPS:
+                move = StrategyChange(u, S, bilateral=True)
+                out.append((move, cost, self.blocking_agents(net, move)))
+        return out

@@ -1,0 +1,184 @@
+"""Move algebra: the strategy-changes agents can perform.
+
+A *move* (Section 1.1) replaces the moving agent's pure strategy by
+another admissible one.  We represent the concrete edge operations:
+
+* :class:`Swap` — replace edge ``(u, old)`` by ``(u, new)``.  In the SG
+  the swapped edge may be owned by either endpoint; in the ASG/GBG/BG it
+  must be owned by ``u``.  After an ASG/GBG/BG swap the new edge is owned
+  by ``u``.
+* :class:`Buy` — create edge ``(u, target)`` owned (paid) by ``u``.
+* :class:`Delete` — remove the owned edge ``(u, target)``.
+* :class:`StrategyChange` — the BG's arbitrary change: replace ``u``'s
+  entire owned-target set.  Also used for the bilateral game, where the
+  "owned set" is read as the *neighbourhood* and added edges need consent.
+
+Every move knows how to ``apply`` itself to a :class:`Network` (mutating)
+and how to produce its ``inverse``, which the dynamics engine uses for
+cheap backtracking during search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple, Union
+
+from .network import Network
+
+__all__ = ["Swap", "Buy", "Delete", "StrategyChange", "Move", "move_kind"]
+
+
+@dataclass(frozen=True)
+class Swap:
+    """Replace edge ``{agent, old}`` by ``{agent, new}``.
+
+    ``take_ownership`` is True in the asymmetric games (the mover owns
+    the new edge).  In the SG the edge keeps no meaningful owner, but we
+    transfer ownership to the mover anyway so the invariant "every edge
+    has exactly one owner" is maintained.
+    """
+
+    agent: int
+    old: int
+    new: int
+
+    def apply(self, net: Network) -> None:
+        """Perform the swap on ``net`` (mutating)."""
+        net.remove_edge(self.agent, self.old)
+        net.add_edge(self.agent, self.new)
+
+    def inverse(self, net_before: Network) -> "Swap":
+        """The move undoing this swap."""
+        return Swap(self.agent, self.new, self.old)
+
+    def describe(self, net: Network) -> str:
+        a, o, w = (net.label(x) for x in (self.agent, self.old, self.new))
+        return f"{a}: swap {a}{o} -> {a}{w}"
+
+
+@dataclass(frozen=True)
+class Buy:
+    """Create the edge ``{agent, target}``, owned by ``agent``."""
+
+    agent: int
+    target: int
+
+    def apply(self, net: Network) -> None:
+        """Create the edge on ``net`` (mutating)."""
+        net.add_edge(self.agent, self.target)
+
+    def inverse(self, net_before: Network) -> "Delete":
+        """The deletion undoing this purchase."""
+        return Delete(self.agent, self.target)
+
+    def describe(self, net: Network) -> str:
+        a, t = net.label(self.agent), net.label(self.target)
+        return f"{a}: buy {a}{t}"
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Remove the owned edge ``{agent, target}``."""
+
+    agent: int
+    target: int
+
+    def apply(self, net: Network) -> None:
+        if not net.owner[self.agent, self.target]:
+            raise ValueError("agent may only delete an edge it owns")
+        net.remove_edge(self.agent, self.target)
+
+    def inverse(self, net_before: Network) -> "Buy":
+        """The purchase undoing this deletion."""
+        return Buy(self.agent, self.target)
+
+    def describe(self, net: Network) -> str:
+        a, t = net.label(self.agent), net.label(self.target)
+        return f"{a}: delete {a}{t}"
+
+
+@dataclass(frozen=True)
+class StrategyChange:
+    """Arbitrary replacement of ``agent``'s strategy set.
+
+    ``new_targets`` is the new owned-target set (BG) or the new
+    neighbourhood (bilateral game, with ``bilateral=True``).  For the
+    bilateral game edges created towards agents that already own an edge
+    to ``agent`` are meaningless; the network is simple, so ``apply``
+    only materialises genuinely new incident edges and removals of
+    previously owned/incident ones.
+    """
+
+    agent: int
+    new_targets: FrozenSet[int]
+    bilateral: bool = False
+
+    @staticmethod
+    def of(agent: int, targets, bilateral: bool = False) -> "StrategyChange":
+        """Convenience constructor accepting any iterable of targets."""
+        return StrategyChange(agent, frozenset(int(t) for t in targets), bilateral)
+
+    def apply(self, net: Network) -> None:
+        u = self.agent
+        if self.bilateral:
+            current = set(net.neighbors(u).tolist())
+            for v in current - self.new_targets:
+                net.remove_edge(u, v)
+            for v in self.new_targets - current:
+                net.add_edge(u, v)
+        else:
+            current = set(net.owned_targets(u).tolist())
+            for v in current - self.new_targets:
+                net.remove_edge(u, v)
+            for v in self.new_targets - current:
+                if net.A[u, v]:
+                    raise ValueError(
+                        f"agent {u} cannot buy edge to {v}: edge already exists "
+                        "(owned by the other endpoint)"
+                    )
+                net.add_edge(u, v)
+
+    def inverse(self, net_before: Network) -> "StrategyChange":
+        """The strategy change restoring the pre-move strategy."""
+        if self.bilateral:
+            old = frozenset(net_before.neighbors(self.agent).tolist())
+        else:
+            old = frozenset(net_before.owned_targets(self.agent).tolist())
+        return StrategyChange(self.agent, old, self.bilateral)
+
+    def describe(self, net: Network) -> str:
+        a = net.label(self.agent)
+        tgts = "{" + ",".join(sorted(net.label(t) for t in self.new_targets)) + "}"
+        return f"{a}: strategy -> {tgts}"
+
+
+Move = Union[Swap, Buy, Delete, StrategyChange]
+
+
+def move_kind(move: Move, net_before: Network) -> str:
+    """Classify a move as ``'swap' | 'buy' | 'delete' | 'multi'``.
+
+    Strategy changes that amount to a single operation are classified as
+    that operation — the paper's trajectory analysis (Section 4.2.2)
+    counts operations this way.
+    """
+    if isinstance(move, Swap):
+        return "swap"
+    if isinstance(move, Buy):
+        return "buy"
+    if isinstance(move, Delete):
+        return "delete"
+    u = move.agent
+    if move.bilateral:
+        old = set(net_before.neighbors(u).tolist())
+    else:
+        old = set(net_before.owned_targets(u).tolist())
+    new = set(move.new_targets)
+    added, removed = new - old, old - new
+    if len(added) == 1 and len(removed) == 1:
+        return "swap"
+    if len(added) == 1 and not removed:
+        return "buy"
+    if len(removed) == 1 and not added:
+        return "delete"
+    return "multi"

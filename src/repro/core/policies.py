@@ -1,0 +1,162 @@
+"""Move policies — who is allowed to move (Section 1.1).
+
+A move policy selects, in every state, which unhappy agent performs a
+move.  It does *not* choose the move itself ("we do not consider such
+strong policies"): the moving agent plays a best response, with ties
+broken by the dynamics engine.
+
+Implemented policies:
+
+* :class:`MaxCostPolicy` — the paper's *max cost policy*: the unhappy
+  agent of highest cost moves (ties broken at random or by index).  The
+  experimental section implements it exactly as described in §3.4.1: costs
+  are computed, agents are checked in descending cost order, and the
+  first agent with an improving move is selected.
+* :class:`RandomPolicy` — §3.4.1's *random policy*: sample agents
+  uniformly without replacement until an unhappy one is found.
+* :class:`FirstUnhappyPolicy` — smallest-index unhappy agent
+  (deterministic; useful for reproducible unit tests).
+* :class:`RoundRobinPolicy` — cyclic scan starting after the last mover.
+* :class:`ScriptedPolicy` — plays a fixed agent sequence (adversarial
+  schedules for the counterexample instances).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .games import BestResponse, Game
+from .network import Network
+
+__all__ = [
+    "MovePolicy",
+    "MaxCostPolicy",
+    "RandomPolicy",
+    "FirstUnhappyPolicy",
+    "RoundRobinPolicy",
+    "ScriptedPolicy",
+]
+
+
+class MovePolicy:
+    """Base class: pick the moving agent for the current state."""
+
+    def reset(self) -> None:
+        """Called by the dynamics engine at the start of a run."""
+
+    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+        """Return the selected agent's best response, or ``None`` if the
+        network is stable (no agent is unhappy)."""
+        raise NotImplementedError
+
+    def notify(self, agent: int) -> None:
+        """Called after ``agent`` moved (lets stateful policies advance)."""
+
+
+class MaxCostPolicy(MovePolicy):
+    """Highest-cost unhappy agent moves; ties broken randomly or by index."""
+
+    def __init__(self, tie_break: str = "random"):
+        if tie_break not in ("random", "index"):
+            raise ValueError("tie_break must be 'random' or 'index'")
+        self.tie_break = tie_break
+
+    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+        """Scan agents in descending cost order; first unhappy one moves."""
+        costs = game.cost_vector(net)
+        order = np.argsort(-costs, kind="stable")
+        if self.tie_break == "random":
+            # shuffle within equal-cost groups: sort by (-cost, random key)
+            keys = rng.random(net.n)
+            order = sorted(range(net.n), key=lambda u: (-costs[u], keys[u]))
+        for u in order:
+            br = game.best_responses(net, int(u))
+            if br.is_improving:
+                return br
+        return None
+
+
+class RandomPolicy(MovePolicy):
+    """Uniformly random unhappy agent (sampling without replacement)."""
+
+    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+        """Sample agents uniformly without replacement until one is unhappy."""
+        candidates = list(range(net.n))
+        rng.shuffle(candidates)
+        for u in candidates:
+            br = game.best_responses(net, u)
+            if br.is_improving:
+                return br
+        return None
+
+
+class FirstUnhappyPolicy(MovePolicy):
+    """Smallest-index unhappy agent (fully deterministic)."""
+
+    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+        """Scan ids in order; the first unhappy agent moves."""
+        for u in range(net.n):
+            br = game.best_responses(net, u)
+            if br.is_improving:
+                return br
+        return None
+
+
+class RoundRobinPolicy(MovePolicy):
+    """Cyclic scan starting just after the previous mover."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+        """Cyclic scan starting after the previous mover."""
+        n = net.n
+        for i in range(n):
+            u = (self._next + i) % n
+            br = game.best_responses(net, u)
+            if br.is_improving:
+                return br
+        return None
+
+    def notify(self, agent: int) -> None:
+        self._next = agent + 1
+
+
+class ScriptedPolicy(MovePolicy):
+    """Plays a predetermined agent schedule (adversarial scheduling).
+
+    Each scheduled agent must be unhappy when its turn comes; otherwise
+    ``select`` raises, which is exactly what the counterexample tests
+    want to detect.  When the script is exhausted the policy reports
+    stability (returns ``None``) so the dynamics engine stops.
+    """
+
+    def __init__(self, schedule: Sequence[int], strict: bool = True):
+        self.schedule: List[int] = list(schedule)
+        self.strict = strict
+        self._pos = 0
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+        """Next scheduled agent moves; raises if it is happy (strict)."""
+        if self._pos >= len(self.schedule):
+            return None
+        u = self.schedule[self._pos]
+        br = game.best_responses(net, u)
+        if not br.is_improving:
+            if self.strict:
+                raise RuntimeError(
+                    f"scripted agent {u} (position {self._pos}) has no improving move"
+                )
+            return None
+        return br
+
+    def notify(self, agent: int) -> None:
+        self._pos += 1

@@ -1,0 +1,25 @@
+"""The paper's empirical study (Sections 3.4 and 4.2) as code.
+
+One module per experiment family:
+
+* :mod:`asg_budget` — Figures 7 and 8 (bounded-budget ASG).
+* :mod:`gbg` — Figures 11 and 13 (Greedy Buy Game sweeps) plus the
+  move-mix trajectory analysis of Section 4.2.2.
+* :mod:`topology` — Figures 12 and 14 (initial-topology comparison).
+* :mod:`runner` — the seeded sweep engine (serial or multi-process).
+* :mod:`report` — ASCII rendering of the papers' plotted series.
+"""
+
+from . import asg_budget, density, gbg, report, runner, topology  # noqa: F401
+from .config import ExperimentConfig, FigureSpec
+
+__all__ = [
+    "asg_budget",
+    "density",
+    "gbg",
+    "topology",
+    "runner",
+    "report",
+    "ExperimentConfig",
+    "FigureSpec",
+]

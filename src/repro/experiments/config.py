@@ -1,0 +1,102 @@
+"""Experiment configuration objects.
+
+A :class:`FigureSpec` captures one of the paper's figures as a grid of
+:class:`ExperimentConfig` cells.  The paper-scale grids (n = 10..100,
+10000/5000 trials) are exposed as ``paper_scale()``; the default grids
+are scaled down so the benchmark suite runs in minutes while preserving
+every qualitative comparison (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ExperimentConfig", "FigureSpec"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One cell of an experiment grid.
+
+    ``game``: ``"asg" | "gbg"``; ``mode``: ``"sum" | "max"``;
+    ``policy``: ``"maxcost" | "random"``;
+    ``topology``: ``"budget" | "random" | "rl" | "dl"``.
+
+    For ``budget`` topologies ``budget`` is the per-agent owned-edge
+    count; for ``random`` topologies ``m_edges`` is the edge count.
+    ``alpha`` only applies to buy games and may be a callable-free
+    float or one of the strings ``"n" | "n/2" | "n/4" | "n/10"``
+    resolved against the current ``n``.
+    """
+
+    game: str
+    mode: str
+    policy: str
+    topology: str = "budget"
+    budget: Optional[int] = None
+    m_edges: Optional[str] = None  # "n" | "2n" | "4n"
+    alpha: Optional[str] = None  # "n" | "n/2" | "n/4" | "n/10" or float-string
+    label: str = ""
+
+    def resolve_alpha(self, n: int) -> float:
+        """Edge price for ``n`` agents (resolves "n/4"-style specs)."""
+        table: Dict[str, float] = {
+            "n": float(n),
+            "n/2": n / 2.0,
+            "n/4": n / 4.0,
+            "n/10": n / 10.0,
+        }
+        if self.alpha is None:
+            raise ValueError("config has no alpha")
+        if self.alpha in table:
+            return table[self.alpha]
+        return float(self.alpha)
+
+    def resolve_m(self, n: int) -> int:
+        """Edge count for ``n`` agents (resolves "2n"-style specs)."""
+        table = {"n": n, "2n": 2 * n, "4n": 4 * n}
+        if self.m_edges is None:
+            raise ValueError("config has no m_edges")
+        return table[self.m_edges]
+
+    def series_name(self) -> str:
+        """Legend label in the paper's plotting style."""
+        if self.label:
+            return self.label
+        bits = []
+        if self.budget is not None:
+            bits.append(f"k={self.budget}")
+        if self.m_edges is not None:
+            bits.append(f"m={self.m_edges}")
+        if self.alpha is not None:
+            bits.append(f"a={self.alpha}")
+        if self.topology in ("rl", "dl"):
+            bits.append(self.topology)
+        bits.append("max cost" if self.policy == "maxcost" else "random")
+        return ", ".join(bits)
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """A paper figure: a list of series (configs) over a range of n."""
+
+    figure: str
+    title: str
+    configs: Tuple[ExperimentConfig, ...]
+    n_values: Tuple[int, ...]
+    trials: int
+    #: the reference envelope the paper draws, e.g. ("5n", lambda n: 5 * n)
+    envelope: Tuple[str, ...] = ()
+
+    def paper_scale(self) -> "FigureSpec":
+        """The grid at the paper's sizes (n = 10..100, full trials)."""
+        return replace(
+            self,
+            n_values=tuple(range(10, 101, 10)),
+            trials=10_000 if self.figure in ("fig7", "fig8") else 5_000,
+        )
+
+    def scaled(self, n_values: Sequence[int], trials: int) -> "FigureSpec":
+        """Copy of the spec with a custom grid size."""
+        return replace(self, n_values=tuple(n_values), trials=trials)

@@ -1,0 +1,74 @@
+"""ASCII rendering of the experiment series — the paper's plots as tables.
+
+The offline environment has no plotting stack, so the series the paper
+plots are emitted as aligned text tables plus the envelope check the
+figures draw (``f(n) = 5n`` etc.).  The same data is available as plain
+dicts for EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from .runner import FigureResult
+
+__all__ = ["format_figure", "envelope_value", "figure_summary"]
+
+
+def envelope_value(name: str, n: int) -> float:
+    """Value of a named reference curve at ``n`` (e.g. ``"5n"``)."""
+    if name.endswith("n") and name[:-1].isdigit():
+        return int(name[:-1]) * n
+    if name == "nlogn":
+        return n * math.log2(n) if n > 1 else 0.0
+    raise ValueError(f"unknown envelope {name!r}")
+
+
+def format_figure(result: FigureResult, stat: str = "mean", width: int = 8) -> str:
+    """Render one figure's series as an aligned table.
+
+    ``stat`` is ``"mean"`` (the left panels of the paper's figures) or
+    ``"max"`` (the right panels).
+    """
+    spec = result.spec
+    ns = sorted({n for per_n in result.series.values() for n in per_n})
+    lines = [f"{spec.title}  [{stat} steps until convergence]"]
+    header = f"{'series':<34}" + "".join(f"{('n=' + str(n)):>{width}}" for n in ns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, per_n in result.series.items():
+        cells = []
+        for n in ns:
+            s = per_n.get(n)
+            if s is None or not s.steps:
+                cells.append(f"{'-':>{width}}")
+            elif stat == "mean":
+                cells.append(f"{s.mean:>{width}.1f}")
+            else:
+                cells.append(f"{s.max:>{width}d}")
+        lines.append(f"{name:<34}" + "".join(cells))
+    for env in spec.envelope:
+        cells = [f"{envelope_value(env, n):>{width}.0f}" for n in ns]
+        lines.append(f"{('[' + env + ']'):<34}" + "".join(cells))
+    nc = result.non_converged_total()
+    lines.append(
+        f"worst max/n ratio: {result.overall_max_ratio():.2f}"
+        + (f"   NON-CONVERGED RUNS: {nc}" if nc else "   (all runs converged)"
+        )
+    )
+    return "\n".join(lines)
+
+
+def figure_summary(result: FigureResult) -> Dict[str, object]:
+    """Machine-readable summary used by EXPERIMENTS.md and the tests."""
+    return {
+        "figure": result.spec.figure,
+        "title": result.spec.title,
+        "worst_max_over_n": result.overall_max_ratio(),
+        "non_converged": result.non_converged_total(),
+        "series": {
+            name: {n: s.as_dict() for n, s in per_n.items()}
+            for name, per_n in result.series.items()
+        },
+    }

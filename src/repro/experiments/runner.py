@@ -1,0 +1,172 @@
+"""Seeded sweep runner for the empirical study.
+
+One *cell* = (config, n); one *trial* = a random initial network plus a
+dynamics run to convergence.  Seeds derive from a single root
+``SeedSequence`` so every sweep is exactly reproducible, including under
+multiprocessing (each trial's seed is independent of scheduling).
+
+The runner follows the hpc-parallel guidance: the inner loop is the
+vectorized best-response engine; parallelism is process-level over
+trials (``n_jobs``), communication is one small result tuple per trial.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.stats import ConvergenceStats
+from ..core.dynamics import run_dynamics
+from ..core.games import AsymmetricSwapGame, Game, GreedyBuyGame
+from ..core.network import Network
+from ..core.policies import MaxCostPolicy, MovePolicy, RandomPolicy
+from ..graphs.generators import (
+    directed_line_network,
+    random_budget_network,
+    random_line_network,
+    random_m_edge_network,
+)
+from .config import ExperimentConfig, FigureSpec
+
+__all__ = ["build_game", "build_policy", "build_initial", "run_cell", "run_figure", "FigureResult"]
+
+
+def build_game(cfg: ExperimentConfig, n: int) -> Game:
+    """Instantiate the configured game for ``n`` agents."""
+    if cfg.game == "asg":
+        return AsymmetricSwapGame(cfg.mode)
+    if cfg.game == "gbg":
+        return GreedyBuyGame(cfg.mode, alpha=cfg.resolve_alpha(n))
+    raise ValueError(f"unknown game {cfg.game!r}")
+
+
+def build_policy(cfg: ExperimentConfig) -> MovePolicy:
+    """Instantiate the configured move policy."""
+    if cfg.policy == "maxcost":
+        return MaxCostPolicy()
+    if cfg.policy == "random":
+        return RandomPolicy()
+    raise ValueError(f"unknown policy {cfg.policy!r}")
+
+
+def build_initial(cfg: ExperimentConfig, n: int, seed: np.random.Generator) -> Network:
+    """Draw the configured random initial network."""
+    if cfg.topology == "budget":
+        assert cfg.budget is not None
+        return random_budget_network(n, cfg.budget, seed=seed)
+    if cfg.topology == "random":
+        return random_m_edge_network(n, cfg.resolve_m(n) if cfg.m_edges else n, seed=seed)
+    if cfg.topology == "rl":
+        return random_line_network(n, seed=seed)
+    if cfg.topology == "dl":
+        return directed_line_network(n)
+    raise ValueError(f"unknown topology {cfg.topology!r}")
+
+
+def _config_digest(cfg: ExperimentConfig) -> int:
+    """Deterministic 32-bit digest of a config (``hash`` is randomized
+    per process for strings, which would break seed reproducibility)."""
+    import zlib
+
+    return zlib.crc32(repr(cfg).encode())
+
+
+def _one_trial(args) -> Tuple[int, bool]:
+    cfg, n, max_steps, (entropy, spawn_key) = args
+    ss = np.random.SeedSequence(entropy=list(entropy), spawn_key=spawn_key)
+    rng = np.random.default_rng(ss)
+    net = build_initial(cfg, n, rng)
+    game = build_game(cfg, n)
+    policy = build_policy(cfg)
+    result = run_dynamics(
+        game, net, policy, max_steps=max_steps, rng=rng,
+        record_trajectory=False, copy_initial=False,
+    )
+    return result.steps, result.converged
+
+
+def run_cell(
+    cfg: ExperimentConfig,
+    n: int,
+    trials: int,
+    seed: int = 0,
+    max_steps_factor: int = 50,
+    n_jobs: int = 1,
+) -> ConvergenceStats:
+    """Run ``trials`` random instances of one (config, n) cell.
+
+    ``max_steps_factor * n`` caps each run; the paper's empirical claim
+    is < 8n steps, so the cap only triggers on genuinely divergent runs
+    (none were ever observed, matching the paper).
+    """
+    max_steps = max_steps_factor * n
+    root = np.random.SeedSequence(entropy=(seed, _config_digest(cfg), n))
+    children = root.spawn(trials)
+    jobs = [
+        (cfg, n, max_steps, (tuple(np.atleast_1d(c.entropy).tolist()), c.spawn_key))
+        for c in children
+    ]
+    stats = ConvergenceStats()
+    if n_jobs <= 1:
+        for job in jobs:
+            steps, ok = _one_trial(job)
+            stats.add(steps, ok)
+    else:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            for steps, ok in pool.map(_one_trial, jobs, chunksize=8):
+                stats.add(steps, ok)
+    return stats
+
+
+@dataclass
+class FigureResult:
+    """All series of one figure: series name -> {n -> ConvergenceStats}."""
+
+    spec: FigureSpec
+    series: Dict[str, Dict[int, ConvergenceStats]] = field(default_factory=dict)
+
+    def mean_series(self, name: str) -> List[Tuple[int, float]]:
+        """``(n, mean steps)`` points of one series."""
+        return [(n, s.mean) for n, s in sorted(self.series[name].items())]
+
+    def max_series(self, name: str) -> List[Tuple[int, float]]:
+        """``(n, max steps)`` points of one series."""
+        return [(n, float(s.max)) for n, s in sorted(self.series[name].items())]
+
+    def overall_max_ratio(self) -> float:
+        """max over all cells of (max steps) / n — the paper's envelope check."""
+        worst = 0.0
+        for per_n in self.series.values():
+            for n, s in per_n.items():
+                if s.steps:
+                    worst = max(worst, s.max / n)
+        return worst
+
+    def non_converged_total(self) -> int:
+        """Total runs that hit the step cap across all cells."""
+        return sum(
+            s.non_converged for per_n in self.series.values() for s in per_n.values()
+        )
+
+
+def run_figure(
+    spec: FigureSpec,
+    seed: int = 0,
+    n_jobs: int = 1,
+    trials: Optional[int] = None,
+    n_values: Optional[Sequence[int]] = None,
+) -> FigureResult:
+    """Run a whole figure grid and return all its series."""
+    result = FigureResult(spec)
+    use_trials = trials if trials is not None else spec.trials
+    use_ns = tuple(n_values) if n_values is not None else spec.n_values
+    for cfg in spec.configs:
+        name = cfg.series_name()
+        result.series[name] = {}
+        for n in use_ns:
+            result.series[name][n] = run_cell(cfg, n, use_trials, seed=seed, n_jobs=n_jobs)
+    return result

@@ -1,0 +1,13 @@
+"""Graph substrate: dense adjacency kernel, properties and generators."""
+
+from . import adjacency, properties  # noqa: F401
+
+__all__ = ["adjacency", "properties", "generators"]
+
+
+def __getattr__(name):  # lazily import generators (needs core types? no, keep cheap)
+    if name == "generators":
+        from . import generators
+
+        return generators
+    raise AttributeError(name)

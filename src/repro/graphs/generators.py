@@ -1,0 +1,319 @@
+"""Initial-network generators — Sections 3.4.1 and 4.2.1 of the paper.
+
+The empirical study draws its initial networks from three generators:
+
+* **uniform budget-k networks** (`random_budget_network`): a random
+  spanning tree grown by attaching uniformly chosen unmarked agents to
+  uniformly chosen marked agents, with edge ownership uniform subject to
+  "no agent owns more than k edges"; then extra edges are inserted until
+  *every* agent owns exactly ``k`` edges (the bounded-budget / uniform
+  unit-budget setting of Ehsani et al.).
+* **random m-edge networks** (`random_m_edge_network`): the same random
+  spanning tree (ownership uniform per edge), then uniformly random
+  extra edges until ``m`` edges are present.
+* **random line / directed line** (`random_line_network`,
+  `directed_line_network`): a path ``v1 .. vn`` with per-edge uniform
+  ownership (``rl``) or with all edges owned "in the same direction"
+  (``dl``) — the topology-comparison settings of Figures 12 and 14.
+
+Plus deterministic constructions used by the theory sections: paths,
+stars, double stars, cycles and uniform random trees (Prüfer).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.network import Network
+
+__all__ = [
+    "random_budget_network",
+    "random_m_edge_network",
+    "random_tree_network",
+    "random_line_network",
+    "directed_line_network",
+    "path_network",
+    "cycle_network",
+    "star_network",
+    "double_star_network",
+    "random_spanning_tree_edges",
+]
+
+
+def _rng(seed_or_rng) -> np.random.Generator:
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def random_spanning_tree_edges(
+    n: int,
+    rng: np.random.Generator,
+    max_owned: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """The paper's random spanning tree as ``(owner, target)`` pairs.
+
+    Process (§3.4.1): start with a uniformly chosen pair and a uniformly
+    chosen owner; then repeatedly join a uniform unmarked agent to a
+    uniform marked agent.  Ownership is uniform among the endpoints,
+    subject to "no agent owns more than ``max_owned``" when given.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n == 1:
+        return []
+    owned_count = np.zeros(n, dtype=np.int64)
+    perm = rng.permutation(n)
+    first, second = int(perm[0]), int(perm[1])
+    edges: List[Tuple[int, int]] = []
+
+    def pick_owner(u: int, v: int) -> int:
+        cand = [u, v]
+        if max_owned is not None:
+            cand = [x for x in cand if owned_count[x] < max_owned]
+            if not cand:
+                raise RuntimeError("both endpoints at ownership capacity")
+        return int(cand[int(rng.integers(len(cand)))])
+
+    o = pick_owner(first, second)
+    t = second if o == first else first
+    edges.append((o, t))
+    owned_count[o] += 1
+    marked = [first, second]
+    unmarked = [int(v) for v in perm[2:]]
+    while unmarked:
+        i = int(rng.integers(len(unmarked)))
+        u = unmarked.pop(i)
+        v = marked[int(rng.integers(len(marked)))]
+        o = pick_owner(u, v)
+        t = v if o == u else u
+        edges.append((o, t))
+        owned_count[o] += 1
+        marked.append(u)
+    return edges
+
+
+def random_budget_network(n: int, budget: int, seed=None, max_retries: int = 20) -> Network:
+    """Uniform budget-``k`` initial network of §3.4.1.
+
+    Every agent ends up owning exactly ``budget`` edges.  Requires
+    ``n > 2 * budget`` so that a simple graph with this ownership profile
+    exists (a circulant orientation witnesses feasibility).  The greedy
+    random completion can wedge on dense profiles; in that case the
+    whole construction is retried with fresh randomness.
+    """
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    if n <= 2 * budget:
+        raise ValueError(f"need n > 2*budget (= {2 * budget}) for a simple budget-{budget} network")
+    rng = _rng(seed)
+    for _attempt in range(max_retries):
+        try:
+            return _random_budget_network_once(n, budget, rng)
+        except RuntimeError:  # greedy completion wedged; retry
+            pass
+    # Last resort for near-complete profiles (e.g. n = 2k+1, the oriented
+    # complete graph): a circulant orientation under a random vertex
+    # relabelling.  Agent p[i] owns edges to p[i+1..i+k mod n]; valid and
+    # simple whenever n > 2k.
+    perm = rng.permutation(n)
+    owned = [
+        (int(perm[i]), int(perm[(i + j) % n]))
+        for i in range(n)
+        for j in range(1, budget + 1)
+    ]
+    return Network.from_owned_edges(n, owned)
+
+
+def _random_budget_network_once(n: int, budget: int, rng: np.random.Generator) -> Network:
+    edges = random_spanning_tree_edges(n, rng, max_owned=budget)
+    A = np.zeros((n, n), dtype=bool)
+    O = np.zeros((n, n), dtype=bool)
+    owned = np.zeros(n, dtype=np.int64)
+    for o, t in edges:
+        A[o, t] = A[t, o] = True
+        O[o, t] = True
+        owned[o] += 1
+    # Insert edges until every agent owns exactly `budget` (§3.4.1:
+    # "choose one unmarked agent and one other agent uniformly at random
+    # and insert the edge with the first agent being its owner").  We
+    # retry on collisions and fall back to a deterministic scan when the
+    # random phase stalls.
+    pending = [u for u in range(n) if owned[u] < budget]
+
+    def grant(u: int, v: int) -> None:
+        A[u, v] = A[v, u] = True
+        O[u, v] = True
+        owned[u] += 1
+        if owned[u] == budget:
+            pending.remove(u)
+
+    stall = 0
+    while pending:
+        u = pending[int(rng.integers(len(pending)))]
+        v = int(rng.integers(n))
+        if v != u and not A[u, v]:
+            grant(u, v)
+            stall = 0
+            continue
+        stall += 1
+        if stall > 50 * n:
+            progressed = False
+            for u in list(pending):
+                for v in range(n):
+                    if v != u and not A[u, v]:
+                        grant(u, v)
+                        progressed = True
+                        break
+                if progressed:
+                    break
+            if not progressed:
+                raise RuntimeError(
+                    f"cannot complete budget-{budget} network on n={n} vertices"
+                )
+            stall = 0
+    return Network(A, O)
+
+
+def random_m_edge_network(n: int, m: int, seed=None) -> Network:
+    """Random connected network with exactly ``m`` edges (§4.2.1).
+
+    A random spanning tree ensures connectedness, then uniformly random
+    non-parallel edges are inserted until ``m`` edges exist; every edge's
+    owner is uniform among its endpoints.
+    """
+    max_m = n * (n - 1) // 2
+    if m < n - 1:
+        raise ValueError(f"need m >= n-1 = {n - 1} for a connected network")
+    if m > max_m:
+        raise ValueError(f"m={m} exceeds maximum {max_m} for n={n}")
+    rng = _rng(seed)
+    edges = random_spanning_tree_edges(n, rng)
+    A = np.zeros((n, n), dtype=bool)
+    O = np.zeros((n, n), dtype=bool)
+    for o, t in edges:
+        A[o, t] = A[t, o] = True
+        O[o, t] = True
+    count = n - 1
+    while count < m:
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if u == v or A[u, v]:
+            continue
+        A[u, v] = A[v, u] = True
+        if rng.integers(2):
+            O[u, v] = True
+        else:
+            O[v, u] = True
+        count += 1
+    return Network(A, O)
+
+
+def random_tree_network(n: int, seed=None, method: str = "attach") -> Network:
+    """Random tree with uniform per-edge ownership.
+
+    ``method="attach"`` uses the paper's marked/unmarked attachment
+    process; ``method="prufer"`` samples a uniformly random labelled tree
+    from a random Prüfer sequence.
+    """
+    rng = _rng(seed)
+    if method == "attach":
+        edges = random_spanning_tree_edges(n, rng)
+        return Network.from_owned_edges(n, edges)
+    if method != "prufer":
+        raise ValueError("method must be 'attach' or 'prufer'")
+    if n == 1:
+        return Network.from_owned_edges(1, [])
+    if n == 2:
+        return Network.from_owned_edges(2, [(0, 1)] if rng.integers(2) else [(1, 0)])
+    seq = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    for x in seq:
+        degree[x] += 1
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    pairs: List[Tuple[int, int]] = []
+    for x in seq:
+        leaf = heapq.heappop(leaves)
+        pairs.append((leaf, int(x)))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, int(x))
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    pairs.append((u, v))
+    owned = [(a, b) if rng.integers(2) else (b, a) for a, b in pairs]
+    return Network.from_owned_edges(n, owned)
+
+
+def path_network(n: int, ownership: str = "forward") -> Network:
+    """The path ``v0 - v1 - ... - v(n-1)``.
+
+    ``ownership``:
+      * ``"forward"`` — ``vi`` owns the edge to ``v(i+1)`` (a directed
+        line, the paper's ``dl`` setting);
+      * ``"backward"`` — ``v(i+1)`` owns the edge to ``vi``;
+      * ``"alternate"`` — owners alternate.
+    """
+    if ownership == "forward":
+        edges = [(i, i + 1) for i in range(n - 1)]
+    elif ownership == "backward":
+        edges = [(i + 1, i) for i in range(n - 1)]
+    elif ownership == "alternate":
+        edges = [(i, i + 1) if i % 2 == 0 else (i + 1, i) for i in range(n - 1)]
+    else:
+        raise ValueError("ownership must be forward/backward/alternate")
+    return Network.from_owned_edges(n, edges)
+
+
+def random_line_network(n: int, seed=None) -> Network:
+    """The ``rl`` setting: a path with uniform per-edge ownership."""
+    rng = _rng(seed)
+    edges = [
+        (i, i + 1) if rng.integers(2) else (i + 1, i) for i in range(n - 1)
+    ]
+    return Network.from_owned_edges(n, edges)
+
+
+def directed_line_network(n: int) -> Network:
+    """The ``dl`` setting: a path whose ownership forms a directed path."""
+    return path_network(n, ownership="forward")
+
+
+def cycle_network(n: int) -> Network:
+    """The cycle ``v0 - v1 - ... - v(n-1) - v0``; ``vi`` owns ``(vi, vi+1)``.
+
+    Every agent owns exactly one edge (the smallest uniform unit-budget
+    networks).
+    """
+    if n < 3:
+        raise ValueError("a cycle needs n >= 3")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Network.from_owned_edges(n, edges)
+
+
+def star_network(n: int, center_owns: bool = True) -> Network:
+    """Star with centre 0."""
+    if center_owns:
+        edges = [(0, i) for i in range(1, n)]
+    else:
+        edges = [(i, 0) for i in range(1, n)]
+    return Network.from_owned_edges(n, edges)
+
+
+def double_star_network(n_left: int, n_right: int) -> Network:
+    """Two adjacent centres (0 and 1) with ``n_left``/``n_right`` leaves.
+
+    Alon et al. show stars and double stars are the only stable trees of
+    the MAX-SG; the tree dynamics tests assert convergence into exactly
+    these shapes.
+    """
+    n = 2 + n_left + n_right
+    edges = [(0, 1)]
+    edges += [(0, 2 + i) for i in range(n_left)]
+    edges += [(1, 2 + n_left + i) for i in range(n_right)]
+    return Network.from_owned_edges(n, edges)

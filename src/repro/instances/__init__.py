@@ -1,0 +1,13 @@
+"""The paper's counterexample instances, host graphs, search and verification."""
+
+from . import search  # noqa: F401
+
+__all__ = ["figures", "host_graphs", "search", "verify"]
+
+
+def __getattr__(name):
+    if name in ("figures", "host_graphs", "verify"):
+        import importlib
+
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(name)

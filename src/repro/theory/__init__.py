@@ -1,0 +1,5 @@
+"""Theory of tree dynamics: bounds, potentials and instrumented runs."""
+
+from . import bounds, tree_dynamics  # noqa: F401
+
+__all__ = ["bounds", "tree_dynamics"]

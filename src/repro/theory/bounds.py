@@ -1,0 +1,57 @@
+"""Closed-form convergence bounds from the paper's theorems.
+
+These are the quantities the theory tests and benches compare measured
+step counts against:
+
+* Theorem 2.1 / Corollary 3.1 — O(n^3) for (A)SG dynamics on trees; the
+  proof's explicit bound is ``sum_{i=3}^{n-1} (n*i - i^2)/2 + 1``.
+* Lemma 2.10 — at most ``(n*D - D^2)/2`` moves before the diameter of a
+  MAX-SG tree process must shrink.
+* Theorem 2.11 — Theta(n log n) for the MAX-SG on trees under the max
+  cost policy.
+* Corollary 3.2 — the SUM-ASG on trees under the max cost policy
+  converges in ``max(0, n-3)`` steps (n even) and
+  ``max(0, n + ceil(n/2) - 5)`` steps (n odd), both tight.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "max_sg_tree_bound",
+    "diameter_phase_bound",
+    "sum_asg_maxcost_bound",
+    "nlogn",
+]
+
+
+def max_sg_tree_bound(n: int) -> float:
+    """Theorem 2.1's explicit O(n^3) bound on MAX-SG tree convergence.
+
+    ``N_n(T) <= sum_{i=3}^{n-1} D_{i,n}`` with
+    ``D_{i,n} < (n*i - i^2)/2 + 1`` (Lemma 2.10 plus the
+    diameter-decreasing step).
+    """
+    if n < 3:
+        return 0.0
+    return sum((n * i - i * i) / 2.0 + 1.0 for i in range(3, n))
+
+
+def diameter_phase_bound(n: int, D: int) -> float:
+    """Lemma 2.10: moves before a diameter-``D`` tree must shrink it."""
+    return (n * D - D * D) / 2.0
+
+
+def sum_asg_maxcost_bound(n: int) -> int:
+    """Corollary 3.2's tight bound for the SUM-ASG + max cost policy."""
+    if n % 2 == 0:
+        return max(0, n - 3)
+    return max(0, n + math.ceil(n / 2) - 5)
+
+
+def nlogn(n: int) -> float:
+    """The Theta(n log n) reference curve (natural log base 2)."""
+    if n <= 1:
+        return 0.0
+    return n * math.log2(n)

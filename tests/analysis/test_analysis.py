@@ -1,0 +1,117 @@
+"""Tests for the analysis layer: stability, pairwise stability, social
+cost and convergence statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.equilibria import is_pairwise_stable, is_stable, stable_tree_shape
+from repro.analysis.social import (
+    PoASample,
+    sample_price_of_anarchy,
+    social_cost,
+    star_social_cost,
+)
+from repro.analysis.stats import ConvergenceStats
+from repro.core.games import BilateralGame, GreedyBuyGame, SwapGame
+from repro.core.network import Network
+from repro.graphs.generators import (
+    double_star_network,
+    path_network,
+    star_network,
+)
+
+
+class TestStability:
+    def test_star_stable_for_sg(self):
+        assert is_stable(SwapGame("sum"), star_network(6))
+        assert is_stable(SwapGame("max"), star_network(6))
+
+    def test_path_unstable(self):
+        assert not is_stable(SwapGame("sum"), path_network(6))
+
+    def test_stable_tree_shape(self):
+        assert stable_tree_shape(star_network(5)) == "star"
+        assert stable_tree_shape(double_star_network(2, 2)) == "double-star"
+        assert stable_tree_shape(path_network(6)) == "other"
+        triangle = Network.from_owned_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert stable_tree_shape(triangle) == "not-a-tree"
+
+
+class TestPairwiseStability:
+    def test_star_pairwise_stable_moderate_alpha(self):
+        game = BilateralGame("sum", alpha=5.0)
+        ok, witness = is_pairwise_stable(game, star_network(6))
+        assert ok, witness
+
+    def test_path_not_pairwise_stable_low_alpha(self):
+        game = BilateralGame("sum", alpha=1.0)
+        ok, witness = is_pairwise_stable(game, path_network(7))
+        assert not ok
+        assert "mutually beneficial" in witness
+
+    def test_deletion_violation_detected(self):
+        # triangle with huge alpha: someone wants to drop an edge
+        net = Network.from_owned_edges(3, [(0, 1), (1, 2), (2, 0)])
+        game = BilateralGame("sum", alpha=50.0)
+        ok, witness = is_pairwise_stable(game, net)
+        assert not ok and "deleting" in witness
+
+    def test_fig16_g1_not_pairwise_stable(self):
+        """fig16's G1 cycles, so it cannot be pairwise stable."""
+        from repro.instances.figures import fig16_max_bilateral_cycle
+
+        inst = fig16_max_bilateral_cycle()
+        ok, _ = is_pairwise_stable(inst.game, inst.network)
+        assert not ok
+
+
+class TestSocialCost:
+    def test_star_formula_sum(self):
+        net = star_network(6)
+        game = SwapGame("sum")
+        assert social_cost(game, net) == star_social_cost(6, "sum")
+
+    def test_star_formula_max(self):
+        net = star_network(6)
+        game = SwapGame("max")
+        assert social_cost(game, net) == star_social_cost(6, "max")
+
+    def test_star_formula_with_alpha(self):
+        net = star_network(5)
+        game = GreedyBuyGame("sum", alpha=2.0)
+        assert social_cost(game, net) == star_social_cost(5, "sum", alpha=2.0, owner_pays=True)
+
+    def test_degenerate(self):
+        assert star_social_cost(1, "sum") == 0.0
+
+    def test_poa_sample(self):
+        game = SwapGame("sum")
+        finals = [star_network(6), double_star_network(2, 2)]
+        poa = sample_price_of_anarchy(game, finals)
+        assert poa.ratios[0] == pytest.approx(1.0)
+        assert poa.max >= poa.mean >= 1.0
+
+    def test_poa_empty_raises(self):
+        with pytest.raises(ValueError):
+            sample_price_of_anarchy(SwapGame("sum"), [])
+
+
+class TestConvergenceStats:
+    def test_accumulates(self):
+        s = ConvergenceStats()
+        for x in (5, 10, 15):
+            s.add(x, True)
+        s.add(999, False)
+        assert s.trials == 4 and s.non_converged == 1
+        assert s.mean == 10 and s.max == 15 and s.min == 5
+
+    def test_empty(self):
+        s = ConvergenceStats()
+        assert np.isnan(s.mean) and s.max == 0
+        assert np.isnan(s.percentile(95))
+
+    def test_as_dict(self):
+        s = ConvergenceStats()
+        s.add(4, True)
+        d = s.as_dict()
+        assert d["trials"] == 1 and d["mean"] == 4 and d["non_converged"] == 0

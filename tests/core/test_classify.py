@@ -1,0 +1,62 @@
+"""Tests for the dynamics classification machinery (Section 1.2)."""
+
+import pytest
+
+from repro.core.classify import classify_reachable, explore_improving_moves
+from repro.core.games import AsymmetricSwapGame, SwapGame
+from repro.graphs.generators import path_network, star_network
+from repro.instances.figures import fig3_sum_asg_cycle
+
+
+class TestExploration:
+    def test_stable_start_single_state(self):
+        sg = explore_improving_moves(SwapGame("sum"), star_network(5))
+        assert sg.n_states == 1 and sg.sinks() == [0]
+
+    def test_path_asg_reaches_stars(self):
+        game = AsymmetricSwapGame("sum")
+        sg = explore_improving_moves(game, path_network(5))
+        assert sg.n_states > 1
+        sinks = sg.sinks()
+        assert sinks
+        for i in sinks:
+            assert game.is_stable(sg.states[i])
+
+    def test_truncation_flag(self):
+        game = AsymmetricSwapGame("sum")
+        sg = explore_improving_moves(game, path_network(6), max_states=3)
+        assert sg.truncated
+
+
+class TestClassification:
+    def test_tree_asg_is_fip_on_component(self):
+        """Corollary 3.1: tree ASG dynamics always converge — the
+        reachable better-response digraph from a tree is acyclic."""
+        rep = classify_reachable(AsymmetricSwapGame("sum"), path_network(5))
+        assert rep.fip
+        assert rep.weakly_acyclic
+        assert rep.n_stable >= 1
+
+    def test_tree_max_sg_is_fip(self):
+        rep = classify_reachable(SwapGame("max"), path_network(5))
+        assert rep.fip and rep.weakly_acyclic
+
+    def test_fig3_not_br_weakly_acyclic(self):
+        """Theorem 3.3: from fig3's G1, best-response play cycles with no
+        stable state reachable."""
+        inst = fig3_sum_asg_cycle()
+        rep = classify_reachable(inst.game, inst.network, best_response_only=True)
+        assert rep.n_states == 4
+        assert rep.n_stable == 0
+        assert rep.has_improvement_cycle
+        assert not rep.weakly_acyclic
+        assert not rep.truncated
+
+    def test_fig3_has_improvement_cycle_but_is_weakly_acyclic(self):
+        """Under *all* improving moves fig3's component contains the BR
+        cycle but also escapes to stable states (the subtle gap between
+        Theorem 3.3 and Corollary 3.6 documented in EXPERIMENTS.md)."""
+        inst = fig3_sum_asg_cycle()
+        rep = classify_reachable(inst.game, inst.network, max_states=30_000)
+        assert rep.has_improvement_cycle
+        assert not rep.fip

@@ -1,0 +1,143 @@
+"""Tests for the sequential process engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import RunResult, choose_move, run_dynamics
+from repro.core.games import AsymmetricSwapGame, GreedyBuyGame, SwapGame
+from repro.core.policies import FirstUnhappyPolicy, MaxCostPolicy, RandomPolicy, ScriptedPolicy
+from repro.graphs.generators import path_network, random_budget_network, star_network
+from repro.instances.figures import fig3_sum_asg_cycle
+
+
+class TestConvergence:
+    def test_star_converges_immediately(self):
+        res = run_dynamics(SwapGame("sum"), star_network(6), MaxCostPolicy(), seed=0)
+        assert res.converged and res.steps == 0
+        assert res.trajectory == []
+
+    def test_path_converges(self):
+        res = run_dynamics(SwapGame("sum"), path_network(8), MaxCostPolicy(), seed=0)
+        assert res.converged and res.steps > 0
+        assert SwapGame("sum").is_stable(res.final)
+
+    def test_every_step_improves(self):
+        res = run_dynamics(SwapGame("max"), path_network(9), RandomPolicy(), seed=3)
+        assert res.converged
+        for rec in res.trajectory:
+            assert rec.improvement > 0
+
+    def test_max_steps_exhaustion(self):
+        res = run_dynamics(
+            SwapGame("sum"), path_network(10), MaxCostPolicy(), seed=0, max_steps=1
+        )
+        assert res.status == "exhausted" and res.steps == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        net = random_budget_network(15, 2, seed=4)
+        a = run_dynamics(AsymmetricSwapGame("sum"), net, RandomPolicy(), seed=11)
+        b = run_dynamics(AsymmetricSwapGame("sum"), net, RandomPolicy(), seed=11)
+        assert a.steps == b.steps
+        assert [(r.agent, r.move) for r in a.trajectory] == [
+            (r.agent, r.move) for r in b.trajectory
+        ]
+
+    def test_rng_and_seed_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="either rng or seed"):
+            run_dynamics(
+                SwapGame("sum"),
+                path_network(4),
+                MaxCostPolicy(),
+                seed=1,
+                rng=np.random.default_rng(1),
+            )
+
+
+class TestCycleDetection:
+    def test_fig3_cycles_under_adversarial_schedule(self):
+        inst = fig3_sum_asg_cycle()
+        schedule = [inst.network.index(l) for l, _ in inst.cycle] * 2
+        res = run_dynamics(
+            inst.game,
+            inst.network,
+            ScriptedPolicy(schedule),
+            seed=0,
+            detect_cycles=True,
+            move_tie_break="first",
+        )
+        assert res.cycled
+        assert res.cycle_start == 0
+        assert res.cycle_length == 4
+
+    def test_no_false_cycles_on_trees(self):
+        res = run_dynamics(
+            SwapGame("sum"), path_network(9), MaxCostPolicy(), seed=1, detect_cycles=True
+        )
+        assert res.converged
+
+
+class TestTrajectory:
+    def test_move_counts(self):
+        net = random_budget_network(12, 2, seed=9)
+        res = run_dynamics(AsymmetricSwapGame("sum"), net, MaxCostPolicy(), seed=2)
+        assert res.converged
+        counts = res.move_counts
+        assert sum(counts.values()) == res.steps
+        assert set(counts) <= {"swap"}  # ASG only swaps
+
+    def test_gbg_mixes_operations(self):
+        from repro.graphs.generators import random_m_edge_network
+
+        net = random_m_edge_network(14, 40, seed=5)
+        res = run_dynamics(
+            GreedyBuyGame("sum", alpha=4.0), net, RandomPolicy(), seed=5
+        )
+        assert res.converged
+        assert "delete" in res.move_counts  # dense start, edges must go
+
+    def test_record_trajectory_off(self):
+        res = run_dynamics(
+            SwapGame("sum"), path_network(8), MaxCostPolicy(), seed=0,
+            record_trajectory=False,
+        )
+        assert res.converged and res.trajectory == []
+
+    def test_copy_initial_false_mutates(self):
+        net = path_network(6)
+        res = run_dynamics(
+            SwapGame("sum"), net, MaxCostPolicy(), seed=0, copy_initial=False
+        )
+        assert res.final is net
+
+
+class TestChooseMove:
+    def test_first_is_deterministic(self):
+        from repro.core.games import BestResponse
+        from repro.core.moves import Swap
+
+        br = BestResponse(0, 10.0, 8.0, [Swap(0, 1, 2), Swap(0, 1, 3)])
+        assert choose_move(br, np.random.default_rng(0), "first") == Swap(0, 1, 2)
+
+    def test_random_covers_all(self):
+        from repro.core.games import BestResponse
+        from repro.core.moves import Swap
+
+        br = BestResponse(0, 10.0, 8.0, [Swap(0, 1, 2), Swap(0, 1, 3)])
+        seen = {choose_move(br, np.random.default_rng(s)) for s in range(20)}
+        assert seen == set(br.moves)
+
+    def test_empty_raises(self):
+        from repro.core.games import BestResponse
+
+        with pytest.raises(ValueError):
+            choose_move(BestResponse(0, 1.0, 1.0, []), np.random.default_rng(0))
+
+    def test_bad_tie_break(self):
+        from repro.core.games import BestResponse
+        from repro.core.moves import Swap
+
+        br = BestResponse(0, 10.0, 8.0, [Swap(0, 1, 2)])
+        with pytest.raises(ValueError):
+            choose_move(br, np.random.default_rng(0), "zigzag")

@@ -1,0 +1,103 @@
+"""Tests for the bilateral equal-split game: consent, blocking, moves."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.games import EPS, BilateralGame
+from repro.core.moves import StrategyChange
+from repro.core.network import Network
+from repro.graphs.generators import path_network, star_network
+
+from ..conftest import network_from_adjacency, random_connected_adjacency
+
+
+class TestFeasibility:
+    def test_deletion_is_unilateral(self):
+        # removing an edge needs no consent
+        net = Network.from_owned_edges(3, [(0, 1), (1, 2), (2, 0)])
+        game = BilateralGame("sum", alpha=4.0)
+        mv = StrategyChange.of(0, [1], bilateral=True)  # drop edge {0,2}
+        assert game.blocking_agents(net, mv) == []
+
+    def test_addition_blocked_when_partner_loses(self):
+        # On a star with big alpha, a leaf-leaf edge hurts the partner:
+        # it pays alpha/2 for a tiny distance gain.
+        net = star_network(6)
+        game = BilateralGame("sum", alpha=10.0)
+        mv = StrategyChange.of(1, [0, 2], bilateral=True)
+        assert game.blocking_agents(net, mv) == [2]
+        assert not game.feasible(net, mv)
+
+    def test_addition_allowed_when_partner_gains(self):
+        # On a long path, the two endpoints both gain a lot from linking.
+        net = path_network(8)
+        game = BilateralGame("sum", alpha=2.0)
+        mv = StrategyChange.of(0, [1, 7], bilateral=True)
+        assert game.feasible(net, mv)
+
+    def test_indifferent_partner_consents(self):
+        """Feasibility is non-strict: c_G(v) >= c_G'(v) suffices."""
+        # two vertices, alpha = 0: adding the edge changes nothing for
+        # the partner's edge-cost and strictly helps distance
+        net = Network.from_owned_edges(3, [(0, 1), (1, 2)])
+        game = BilateralGame("sum", alpha=0.0)
+        mv = StrategyChange.of(0, [1, 2], bilateral=True)
+        assert game.feasible(net, mv)
+
+
+class TestImprovingMoves:
+    def test_improving_moves_are_feasible_and_improving(self, rng):
+        A = random_connected_adjacency(7, 3, rng)
+        net = network_from_adjacency(A, rng)
+        game = BilateralGame("sum", alpha=3.0)
+        for u in range(net.n):
+            cur = game.current_cost(net, u)
+            for mv, cost in game._scored_moves(net, u):
+                assert cost < cur - EPS
+                assert game.feasible(net, mv)
+                # reported cost must equal the true post-move cost
+                work = net.copy()
+                mv.apply(work)
+                assert abs(game.current_cost(work, u) - cost) < 1e-9
+
+    def test_with_blockers_superset(self, rng):
+        """improving_moves_with_blockers lists every improving strategy;
+        the feasible ones must coincide with _scored_moves."""
+        A = random_connected_adjacency(6, 2, rng)
+        net = network_from_adjacency(A, rng)
+        game = BilateralGame("max", alpha=2.5)
+        for u in range(net.n):
+            all_imp = game.improving_moves_with_blockers(net, u)
+            feas = {frozenset(m.new_targets) for m, c, b in all_imp if not b}
+            scored = {frozenset(m.new_targets) for m, c in game._scored_moves(net, u)}
+            assert feas == scored
+
+    def test_guard_on_large_networks(self):
+        net = path_network(20)
+        game = BilateralGame("sum", alpha=1.0, max_enumeration_agents=14)
+        with pytest.raises(ValueError, match="enumeration"):
+            game.best_responses(net, 0)
+
+
+class TestCostModel:
+    def test_equal_split_edge_cost(self):
+        net = star_network(5)
+        game = BilateralGame("sum", alpha=6.0)
+        # centre: degree 4 -> 4 * 3 = 12 edge cost, distance 4
+        assert game.current_cost(net, 0) == 12 + 4
+        # leaf: 3 + (1 + 2*3)
+        assert game.current_cost(net, 1) == 3 + 7
+
+    def test_stability_of_star_with_moderate_alpha(self):
+        # alpha in (2, ...): leaves won't pair up (distance gain 1 each
+        # direction < alpha/2 for alpha > 2), centre keeps its edges
+        net = star_network(6)
+        game = BilateralGame("sum", alpha=3.0)
+        assert game.is_stable(net)
+
+    def test_unstable_path_low_alpha(self):
+        net = path_network(6)
+        game = BilateralGame("sum", alpha=0.5)
+        assert not game.is_stable(net)

@@ -1,0 +1,114 @@
+"""Tests for the move algebra: apply, inverse, classification, errors."""
+
+import pytest
+
+from repro.core.moves import Buy, Delete, StrategyChange, Swap, move_kind
+from repro.core.network import Network
+from repro.graphs.generators import path_network
+
+
+class TestSwap:
+    def test_apply(self):
+        net = path_network(4)  # 0-1-2-3, forward ownership
+        Swap(0, 1, 2).apply(net)
+        assert net.has_edge(0, 2) and not net.has_edge(0, 1)
+        assert net.owns(0, 2)
+
+    def test_inverse_restores(self):
+        net = path_network(4)
+        before = net.state_key()
+        mv = Swap(0, 1, 3)
+        mv.apply(net)
+        mv.inverse(net).apply(net)
+        assert net.state_key() == before
+
+    def test_swap_to_existing_neighbor_raises(self):
+        net = Network.from_owned_edges(3, [(0, 1), (0, 2)])
+        with pytest.raises(ValueError):
+            Swap(0, 1, 2).apply(net)
+
+    def test_describe(self):
+        net = Network.from_labeled_edges(["a", "b", "c"], [("a", "b")])
+        assert Swap(0, 1, 2).describe(net) == "a: swap ab -> ac"
+
+
+class TestBuyDelete:
+    def test_buy_and_inverse(self):
+        net = path_network(4)
+        Buy(0, 2).apply(net)
+        assert net.owns(0, 2)
+        Delete(0, 2).apply(net)
+        assert not net.has_edge(0, 2)
+
+    def test_delete_requires_ownership(self):
+        net = path_network(4)  # 0 owns (0,1); 1 does not
+        with pytest.raises(ValueError, match="owns"):
+            Delete(1, 0).apply(net)
+
+    def test_buy_existing_raises(self):
+        net = path_network(4)
+        with pytest.raises(ValueError):
+            Buy(0, 1).apply(net)
+
+    def test_inverses(self):
+        net = path_network(4)
+        assert Buy(0, 2).inverse(net) == Delete(0, 2)
+        assert Delete(0, 1).inverse(net) == Buy(0, 1)
+
+
+class TestStrategyChange:
+    def test_unilateral_replaces_owned_set(self):
+        net = path_network(4)  # 0->1, 1->2, 2->3
+        StrategyChange.of(1, [3]).apply(net)
+        assert net.has_edge(1, 3) and not net.has_edge(1, 2)
+        assert net.has_edge(0, 1)  # 0's edge untouched
+
+    def test_unilateral_rejects_buying_incoming_parallel(self):
+        net = path_network(4)
+        # agent 1 "buying" 0 would duplicate the edge owned by 0
+        with pytest.raises(ValueError, match="already exists"):
+            StrategyChange.of(1, [0, 2]).apply(net)
+
+    def test_bilateral_sets_neighborhood(self):
+        net = path_network(4)
+        StrategyChange.of(1, [3], bilateral=True).apply(net)
+        assert net.neighbors(1).tolist() == [3]
+        # removed edges 0-1, 1-2; added 1-3
+
+    def test_inverse_roundtrip(self):
+        net = path_network(5)
+        mv = StrategyChange.of(2, [0, 4])
+        inv = mv.inverse(net)
+        mv.apply(net)
+        inv.apply(net)
+        assert net.state_key() == path_network(5).state_key()
+
+    def test_bilateral_inverse_roundtrip(self):
+        net = path_network(5)
+        mv = StrategyChange.of(2, [0], bilateral=True)
+        inv = mv.inverse(net)
+        mv.apply(net)
+        inv.apply(net)
+        assert net.state_key(with_ownership=False) == path_network(5).state_key(with_ownership=False)
+
+
+class TestMoveKind:
+    def test_primitive_kinds(self):
+        net = path_network(4)
+        assert move_kind(Swap(0, 1, 2), net) == "swap"
+        assert move_kind(Buy(0, 2), net) == "buy"
+        assert move_kind(Delete(0, 1), net) == "delete"
+
+    def test_strategy_change_classification(self):
+        net = path_network(4)  # agent 1 owns {2}
+        assert move_kind(StrategyChange.of(1, [3]), net) == "swap"
+        assert move_kind(StrategyChange.of(1, [2, 3]), net) == "buy"
+        assert move_kind(StrategyChange.of(1, []), net) == "delete"
+        net5 = path_network(5)  # agent 1 owns {2}
+        assert move_kind(StrategyChange.of(1, [3, 4]), net5) == "multi"
+
+    def test_bilateral_classification(self):
+        net = path_network(4)  # neighbourhood of 1 = {0, 2}
+        assert move_kind(StrategyChange.of(1, [0, 2, 3], bilateral=True), net) == "buy"
+        assert move_kind(StrategyChange.of(1, [0], bilateral=True), net) == "delete"
+        assert move_kind(StrategyChange.of(1, [0, 3], bilateral=True), net) == "swap"

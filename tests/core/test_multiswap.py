@@ -1,0 +1,135 @@
+"""Tests for the multi-swap extension (Theorems 2.16 / 3.3 side claims).
+
+``SwapGame(max_swaps=k)`` / ``AsymmetricSwapGame(max_swaps=k)`` allow a
+single move to replace up to ``k`` movable edges.  The paper uses
+multi-swaps in two places: Theorem 2.16 ("the first result holds even if
+agents are allowed to perform multi-swaps", and "with multi-swaps it is
+no longer true that there is only one unhappy agent in every step") and
+Theorem 3.3 ("even if agents can swap multiple edges in one step").
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import DeviationEvaluator
+from repro.core.games import EPS, AsymmetricSwapGame, SwapGame
+from repro.core.moves import StrategyChange, Swap
+from repro.graphs.generators import path_network, star_network
+
+from ..conftest import network_from_adjacency, random_connected_adjacency
+
+
+class TestSemantics:
+    def test_max_swaps_validation(self):
+        with pytest.raises(ValueError, match="max_swaps"):
+            SwapGame("sum", max_swaps=0)
+
+    def test_single_swap_game_unchanged(self, rng):
+        """max_swaps=1 must be byte-identical to the standard game."""
+        A = random_connected_adjacency(8, 4, rng)
+        net = network_from_adjacency(A, rng)
+        g1 = AsymmetricSwapGame("sum")
+        g1b = AsymmetricSwapGame("sum", max_swaps=1)
+        for u in range(net.n):
+            assert list(g1._scored_moves(net, u)) == list(g1b._scored_moves(net, u))
+
+    def test_multi_moves_preserve_cardinality(self, rng):
+        A = random_connected_adjacency(8, 5, rng)
+        net = network_from_adjacency(A, rng)
+        game = AsymmetricSwapGame("sum", max_swaps=2)
+        for u in range(net.n):
+            k = net.edges_owned_count(u)
+            for move, _ in game._scored_moves(net, u):
+                if isinstance(move, StrategyChange):
+                    assert len(move.new_targets) == k
+
+    def test_multi_move_costs_are_real(self, rng):
+        A = random_connected_adjacency(7, 3, rng)
+        net = network_from_adjacency(A, rng)
+        game = AsymmetricSwapGame("max", max_swaps=2)
+        for u in range(net.n):
+            for move, cost in game._scored_moves(net, u):
+                if not isinstance(move, StrategyChange):
+                    continue
+                work = net.copy()
+                move.apply(work)
+                actual = game.current_cost(work, u)
+                assert (np.isinf(cost) and np.isinf(actual)) or abs(actual - cost) < 1e-9
+
+    def test_multi_swap_can_strictly_beat_single(self):
+        """A network where one double-swap beats every single swap: two
+        'hub' targets that a degree-2 agent wants simultaneously."""
+        # star of two hubs h1=0, h2=1 (not adjacent), leaves on each;
+        # agent u=6 owns edges to two leaves and would rather own both hubs
+        from repro.core.network import Network
+
+        owned = [
+            (0, 2), (0, 3), (1, 4), (1, 5),  # hub leaves
+            (6, 2), (6, 4),  # the mover, attached to one leaf of each hub
+            (2, 4),  # connect the two sides
+        ]
+        net = Network.from_owned_edges(7, owned)
+        single = AsymmetricSwapGame("sum", max_swaps=1).best_responses(net, 6)
+        multi = AsymmetricSwapGame("sum", max_swaps=2).best_responses(net, 6)
+        assert multi.best_cost <= single.best_cost
+
+
+class TestPaperClaims:
+    def test_fig2_multi_swap_cannot_beat_single(self):
+        """Theorem 2.16: 'swapping one edge suffices to achieve the best
+        possible cost decrease for the moving agent'."""
+        from repro.instances.figures import fig2_max_sg_cycle
+
+        inst = fig2_max_sg_cycle()
+        a1 = inst.network.index("a1")
+        single = SwapGame("max").best_responses(inst.network, a1)
+        multi = SwapGame("max", max_swaps=2).best_responses(inst.network, a1)
+        assert multi.best_cost == single.best_cost == 2.0
+
+    def test_fig2_multi_swaps_add_unhappy_agents(self):
+        """Theorem 2.16: 'with multi-swaps it is no longer true that
+        there is only one unhappy agent in every step'."""
+        from repro.instances.figures import fig2_max_sg_cycle
+
+        inst = fig2_max_sg_cycle()
+        net = inst.network
+        single_unhappy = set(SwapGame("max").unhappy_agents(net))
+        multi_unhappy = set(SwapGame("max", max_swaps=2).unhappy_agents(net))
+        assert single_unhappy == {net.index("a1")}
+        assert multi_unhappy > single_unhappy
+
+    def test_fig3_multi_swaps_never_beat_the_cycle_moves(self):
+        """Theorem 3.3: the cycle's single swaps remain best responses
+        when multi-swaps (up to the full budget of 3) are allowed."""
+        from repro.instances.figures import fig3_sum_asg_cycle
+
+        inst = fig3_sum_asg_cycle()
+        game_multi = AsymmetricSwapGame("sum", max_swaps=3)
+        net = inst.network.copy()
+        for lbl, mv in inst.cycle:
+            u = net.index(lbl)
+            single = inst.game.best_responses(net, u)
+            multi = game_multi.best_responses(net, u)
+            assert abs(multi.best_cost - single.best_cost) < EPS
+            mv.apply(net)
+
+    def test_remark_3_4_fig3_not_a_sum_sg_cycle(self):
+        """Remark 3.4: in the *SG*, agent f's swap of the edge fb (owned
+        by b!) to fe strictly beats her swap fd -> fe, so Fig 3's cycle
+        is not a best response cycle of the SUM-SG."""
+        from repro.instances.figures import fig3_sum_asg_cycle
+
+        inst = fig3_sum_asg_cycle()
+        net = inst.network
+        sg = SwapGame("sum")
+        f, b, d, e = (net.index(x) for x in "fbde")
+        via_b = net.copy()
+        Swap(f, b, e).apply(via_b)
+        via_d = net.copy()
+        Swap(f, d, e).apply(via_d)
+        assert sg.current_cost(via_b, f) < sg.current_cost(via_d, f)
+        # hence the ASG cycle move is NOT an SG best response:
+        br = sg.best_responses(net, f)
+        assert Swap(f, d, e) not in br.moves

@@ -1,0 +1,133 @@
+"""Tests for the Network state class: invariants, mutation, keys."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import Network
+
+
+def small_net():
+    return Network.from_owned_edges(4, [(0, 1), (1, 2), (3, 2)])
+
+
+class TestConstruction:
+    def test_from_owned_edges(self):
+        net = small_net()
+        assert net.n == 4 and net.m == 3
+        assert net.owns(0, 1) and not net.owns(1, 0)
+        assert net.owns(3, 2)
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Network.from_owned_edges(3, [(0, 1), (1, 0)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Network.from_owned_edges(3, [(1, 1)])
+
+    def test_rejects_double_ownership(self):
+        A = np.zeros((2, 2), dtype=bool)
+        A[0, 1] = A[1, 0] = True
+        O = A.copy()
+        with pytest.raises(ValueError, match="owned by both"):
+            Network(A, O)
+
+    def test_rejects_missing_owner(self):
+        A = np.zeros((2, 2), dtype=bool)
+        A[0, 1] = A[1, 0] = True
+        O = np.zeros_like(A)
+        with pytest.raises(ValueError, match="no owner"):
+            Network(A, O)
+
+    def test_rejects_owner_without_edge(self):
+        A = np.zeros((2, 2), dtype=bool)
+        O = np.zeros_like(A)
+        O[0, 1] = True
+        with pytest.raises(ValueError, match="non-existent"):
+            Network(A, O)
+
+    def test_labels(self):
+        net = Network.from_labeled_edges(["x", "y", "z"], [("x", "y"), ("z", "y")])
+        assert net.index("z") == 2
+        assert net.label(0) == "x"
+        assert net.owns(net.index("z"), net.index("y"))
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ValueError, match="unique"):
+            Network.from_labeled_edges(["x", "x"], [("x", "x")])
+
+    def test_rejects_wrong_label_count(self):
+        A = np.zeros((2, 2), dtype=bool)
+        with pytest.raises(ValueError, match="length"):
+            Network(A, A.copy(), labels=["only-one"])
+
+
+class TestQueries:
+    def test_owned_targets_and_incoming(self):
+        net = small_net()
+        assert net.owned_targets(1).tolist() == [2]
+        assert net.incoming_neighbors(2).tolist() == [1, 3]
+        assert net.neighbors(2).tolist() == [1, 3]
+        assert net.degree(1) == 2
+        assert net.edges_owned_count(3) == 1
+
+    def test_budget_vector(self):
+        net = small_net()
+        assert net.budget_vector().tolist() == [1, 1, 0, 1]
+
+    def test_edge_owner(self):
+        net = small_net()
+        assert net.edge_owner(0, 1) == 0
+        assert net.edge_owner(1, 0) == 0
+        assert net.edge_owner(2, 3) == 3
+        with pytest.raises(ValueError):
+            net.edge_owner(0, 3)
+
+    def test_describe_uses_labels(self):
+        net = Network.from_labeled_edges(["a", "b"], [("a", "b")])
+        assert net.describe() == "a->b"
+
+
+class TestMutation:
+    def test_add_remove_roundtrip(self):
+        net = small_net()
+        key = net.state_key()
+        net.add_edge(0, 3)
+        assert net.has_edge(0, 3) and net.owns(0, 3)
+        net.remove_edge(0, 3)
+        assert net.state_key() == key
+
+    def test_add_existing_raises(self):
+        net = small_net()
+        with pytest.raises(ValueError, match="already present"):
+            net.add_edge(1, 0)
+
+    def test_remove_missing_raises(self):
+        net = small_net()
+        with pytest.raises(ValueError, match="not present"):
+            net.remove_edge(0, 2)
+
+    def test_copy_is_independent(self):
+        net = small_net()
+        cp = net.copy()
+        cp.add_edge(0, 2)
+        assert not net.has_edge(0, 2)
+
+
+class TestKeysAndRelabel:
+    def test_state_key_distinguishes_ownership(self):
+        a = Network.from_owned_edges(2, [(0, 1)])
+        b = Network.from_owned_edges(2, [(1, 0)])
+        assert a.state_key() != b.state_key()
+        assert a.state_key(with_ownership=False) == b.state_key(with_ownership=False)
+
+    def test_relabel_preserves_structure(self):
+        net = small_net()
+        perm = [2, 0, 3, 1]
+        out = net.relabel_copy(perm)
+        for u, v in net.owned_edge_list():
+            assert out.owns(perm[u], perm[v])
+
+    def test_relabel_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            small_net().relabel_copy([0, 0, 1, 2])

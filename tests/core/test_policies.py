@@ -1,0 +1,115 @@
+"""Tests for the move policies of §3.4.1."""
+
+import numpy as np
+import pytest
+
+from repro.core.games import AsymmetricSwapGame, SwapGame
+from repro.core.moves import Swap
+from repro.core.network import Network
+from repro.core.policies import (
+    FirstUnhappyPolicy,
+    MaxCostPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    ScriptedPolicy,
+)
+from repro.graphs.generators import path_network, star_network
+
+
+def make_rng():
+    return np.random.default_rng(99)
+
+
+class TestMaxCost:
+    def test_selects_highest_cost_unhappy(self):
+        # On the path, the endpoints have the highest cost and are unhappy.
+        net = path_network(6)
+        game = SwapGame("sum")
+        br = MaxCostPolicy(tie_break="index").select(game, net, make_rng())
+        assert br is not None and br.agent in (0, 5)
+
+    def test_skips_happy_high_cost_agents(self):
+        # fig2-style situations need the policy to skip down the order;
+        # here: make a graph where the max-cost agents cannot improve.
+        # On a C5 in the MAX-SG everyone has equal cost and is happy.
+        from repro.graphs.generators import cycle_network
+
+        net = cycle_network(5)
+        game = SwapGame("max")
+        assert MaxCostPolicy().select(game, net, make_rng()) is None
+
+    def test_stable_returns_none(self):
+        net = star_network(5)
+        assert MaxCostPolicy().select(SwapGame("sum"), net, make_rng()) is None
+
+    def test_invalid_tie_break(self):
+        with pytest.raises(ValueError):
+            MaxCostPolicy(tie_break="zigzag")
+
+
+class TestRandom:
+    def test_returns_some_unhappy_agent(self):
+        net = path_network(7)
+        game = SwapGame("sum")
+        seen = set()
+        for seed in range(12):
+            br = RandomPolicy().select(game, net, np.random.default_rng(seed))
+            assert br is not None and br.is_improving
+            seen.add(br.agent)
+        assert len(seen) > 1  # actually randomises
+
+    def test_stable_returns_none(self):
+        net = star_network(5)
+        assert RandomPolicy().select(SwapGame("sum"), net, make_rng()) is None
+
+
+class TestFirstUnhappyAndRoundRobin:
+    def test_first_unhappy_deterministic(self):
+        net = path_network(6)
+        game = SwapGame("sum")
+        br = FirstUnhappyPolicy().select(game, net, make_rng())
+        assert br.agent == 0
+
+    def test_round_robin_advances(self):
+        net = path_network(6)
+        game = SwapGame("sum")
+        pol = RoundRobinPolicy()
+        br = pol.select(game, net, make_rng())
+        first = br.agent
+        pol.notify(first)
+        br2 = pol.select(game, net, make_rng())
+        assert br2.agent != first or first == (first + 6) % 6
+
+    def test_round_robin_reset(self):
+        pol = RoundRobinPolicy()
+        pol.notify(3)
+        pol.reset()
+        assert pol._next == 0
+
+
+class TestScripted:
+    def test_plays_schedule(self):
+        net = path_network(5)
+        game = SwapGame("sum")
+        pol = ScriptedPolicy([0, 4])
+        br = pol.select(game, net, make_rng())
+        assert br.agent == 0
+        pol.notify(0)
+        br2 = pol.select(game, net, make_rng())
+        assert br2.agent == 4
+
+    def test_exhausted_schedule_stops(self):
+        net = path_network(5)
+        pol = ScriptedPolicy([])
+        assert pol.select(SwapGame("sum"), net, make_rng()) is None
+
+    def test_strict_raises_on_happy_agent(self):
+        net = star_network(5)
+        pol = ScriptedPolicy([0])
+        with pytest.raises(RuntimeError, match="no improving move"):
+            pol.select(SwapGame("sum"), net, make_rng())
+
+    def test_non_strict_returns_none(self):
+        net = star_network(5)
+        pol = ScriptedPolicy([0], strict=False)
+        assert pol.select(SwapGame("sum"), net, make_rng()) is None

@@ -1,0 +1,57 @@
+"""Tests for Network JSON serialisation and the CLI export command."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.core.network import Network
+from repro.instances.figures import ALL_INSTANCES
+
+
+class TestRoundTrip:
+    def test_labeled_round_trip(self):
+        net = Network.from_labeled_edges(["x", "y", "z"], [("x", "y"), ("z", "y")])
+        back = Network.from_dict(net.to_dict())
+        assert np.array_equal(back.A, net.A)
+        assert np.array_equal(back.owner, net.owner)
+        assert back.labels == net.labels
+
+    def test_unlabeled_round_trip(self):
+        net = Network.from_owned_edges(5, [(0, 1), (2, 1), (3, 0), (4, 2)])
+        back = Network.from_dict(net.to_dict())
+        assert np.array_equal(back.owner, net.owner)
+        assert back.labels is None
+
+    def test_json_serialisable(self):
+        net = Network.from_owned_edges(3, [(0, 1), (1, 2)])
+        payload = json.dumps(net.to_dict())
+        back = Network.from_dict(json.loads(payload))
+        assert np.array_equal(back.A, net.A)
+
+    @pytest.mark.parametrize("name", ["fig2", "fig3", "fig9", "fig16"])
+    def test_instances_round_trip(self, name):
+        inst = ALL_INSTANCES[name]()
+        back = Network.from_dict(inst.network.to_dict())
+        assert np.array_equal(back.A, inst.network.A)
+        assert np.array_equal(back.owner, inst.network.owner)
+
+    def test_isolated_vertices_preserved(self):
+        net = Network.from_owned_edges(4, [(0, 1)])
+        back = Network.from_dict(net.to_dict())
+        assert back.n == 4 and back.m == 1
+
+
+class TestExportCommand:
+    def test_export_valid_json(self, capsys):
+        assert main(["export", "fig10"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["game"] == "GreedyBuyGame"
+        assert payload["mode"] == "max"
+        net = Network.from_dict(payload["network"])
+        assert net.n == 8
+        assert len(payload["cycle"]) == 4
+
+    def test_export_unknown(self, capsys):
+        assert main(["export", "fig99"]) == 2

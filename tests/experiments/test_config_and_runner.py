@@ -1,0 +1,148 @@
+"""Tests for the experiment configuration and the sweep runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.asg_budget import figure7_spec, figure8_spec
+from repro.experiments.config import ExperimentConfig, FigureSpec
+from repro.experiments.gbg import figure11_spec, figure13_spec
+from repro.experiments.report import envelope_value, figure_summary, format_figure
+from repro.experiments.runner import (
+    build_game,
+    build_initial,
+    build_policy,
+    run_cell,
+    run_figure,
+)
+from repro.experiments.topology import figure12_spec, figure14_spec
+
+
+class TestConfig:
+    def test_alpha_resolution(self):
+        cfg = ExperimentConfig("gbg", "sum", "maxcost", alpha="n/4")
+        assert cfg.resolve_alpha(40) == 10.0
+        cfg2 = ExperimentConfig("gbg", "sum", "maxcost", alpha="2.5")
+        assert cfg2.resolve_alpha(40) == 2.5
+        with pytest.raises(ValueError):
+            ExperimentConfig("gbg", "sum", "maxcost").resolve_alpha(40)
+
+    def test_m_resolution(self):
+        cfg = ExperimentConfig("gbg", "sum", "maxcost", m_edges="4n")
+        assert cfg.resolve_m(25) == 100
+        with pytest.raises(ValueError):
+            ExperimentConfig("gbg", "sum", "maxcost").resolve_m(25)
+
+    def test_series_name(self):
+        cfg = ExperimentConfig("asg", "sum", "maxcost", budget=3)
+        assert cfg.series_name() == "k=3, max cost"
+        cfg2 = ExperimentConfig("gbg", "max", "random", topology="dl", alpha="n")
+        assert cfg2.series_name() == "a=n, dl, random"
+
+    def test_paper_scale(self):
+        spec = figure7_spec().paper_scale()
+        assert spec.n_values == tuple(range(10, 101, 10))
+        assert spec.trials == 10_000
+        spec13 = figure13_spec().paper_scale()
+        assert spec13.trials == 5_000
+
+    def test_scaled(self):
+        spec = figure7_spec().scaled([10, 20], 5)
+        assert spec.n_values == (10, 20) and spec.trials == 5
+
+
+class TestBuilders:
+    def test_build_game(self):
+        asg = build_game(ExperimentConfig("asg", "sum", "maxcost", budget=1), 10)
+        assert type(asg).__name__ == "AsymmetricSwapGame"
+        gbg = build_game(ExperimentConfig("gbg", "max", "random", alpha="n/4"), 20)
+        assert gbg.alpha == 5.0
+        with pytest.raises(ValueError):
+            build_game(ExperimentConfig("bg", "sum", "maxcost"), 10)
+
+    def test_build_policy(self):
+        assert type(build_policy(ExperimentConfig("asg", "sum", "maxcost"))).__name__ == "MaxCostPolicy"
+        assert type(build_policy(ExperimentConfig("asg", "sum", "random"))).__name__ == "RandomPolicy"
+        with pytest.raises(ValueError):
+            build_policy(ExperimentConfig("asg", "sum", "sorted"))
+
+    def test_build_initial_topologies(self):
+        rng = np.random.default_rng(0)
+        net = build_initial(ExperimentConfig("asg", "sum", "maxcost", budget=2), 12, rng)
+        assert (net.budget_vector() == 2).all()
+        net2 = build_initial(
+            ExperimentConfig("gbg", "sum", "maxcost", topology="random", m_edges="2n"),
+            12, rng,
+        )
+        assert net2.m == 24
+        net3 = build_initial(
+            ExperimentConfig("gbg", "sum", "maxcost", topology="rl"), 12, rng
+        )
+        assert net3.m == 11
+        net4 = build_initial(
+            ExperimentConfig("gbg", "sum", "maxcost", topology="dl"), 12, rng
+        )
+        assert net4.owned_edge_list() == [(i, i + 1) for i in range(11)]
+
+
+class TestRunCell:
+    def test_reproducible(self):
+        cfg = ExperimentConfig("asg", "sum", "maxcost", budget=1)
+        a = run_cell(cfg, 12, trials=5, seed=3)
+        b = run_cell(cfg, 12, trials=5, seed=3)
+        assert a.steps == b.steps
+
+    def test_different_seeds_differ(self):
+        cfg = ExperimentConfig("asg", "sum", "random", budget=2)
+        a = run_cell(cfg, 14, trials=6, seed=1)
+        b = run_cell(cfg, 14, trials=6, seed=2)
+        assert a.steps != b.steps
+
+    def test_all_converge_small(self):
+        cfg = ExperimentConfig("gbg", "sum", "random", topology="random",
+                               m_edges="n", alpha="n/4")
+        stats = run_cell(cfg, 12, trials=8, seed=0)
+        assert stats.non_converged == 0
+        assert stats.trials == 8
+
+    def test_parallel_matches_serial(self):
+        cfg = ExperimentConfig("asg", "sum", "maxcost", budget=1)
+        a = run_cell(cfg, 12, trials=6, seed=5, n_jobs=1)
+        b = run_cell(cfg, 12, trials=6, seed=5, n_jobs=2)
+        assert sorted(a.steps) == sorted(b.steps)
+
+
+class TestRunFigureAndReport:
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        spec = figure7_spec(budgets=(1,), n_values=(10, 14), trials=4)
+        return run_figure(spec, seed=1)
+
+    def test_series_present(self, small_result):
+        assert set(small_result.series) == {"k=1, max cost", "k=1, random"}
+        assert set(small_result.series["k=1, max cost"]) == {10, 14}
+
+    def test_envelope_respected(self, small_result):
+        assert small_result.overall_max_ratio() < 5.0  # the paper's 5n claim
+
+    def test_format_figure(self, small_result):
+        text = format_figure(small_result, "mean")
+        assert "k=1, max cost" in text and "[5n]" in text
+        text2 = format_figure(small_result, "max")
+        assert "all runs converged" in text2
+
+    def test_figure_summary(self, small_result):
+        summary = figure_summary(small_result)
+        assert summary["figure"] == "fig7"
+        assert summary["non_converged"] == 0
+
+    def test_envelope_value(self):
+        assert envelope_value("5n", 20) == 100
+        assert envelope_value("nlogn", 8) == 24
+        with pytest.raises(ValueError):
+            envelope_value("n^2", 5)
+
+    def test_all_specs_construct(self):
+        for spec_fn in (figure7_spec, figure8_spec, figure11_spec,
+                        figure12_spec, figure13_spec, figure14_spec):
+            spec = spec_fn()
+            assert spec.configs and spec.n_values and spec.trials

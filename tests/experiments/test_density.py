@@ -1,0 +1,40 @@
+"""Tests for the density-sweep analysis (§3.4.2)."""
+
+import pytest
+
+from repro.experiments.density import DensityPoint, density_sweep, peak_density
+
+
+class TestDensitySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return density_sweep(budget=2, n_values=(8, 14, 20, 30), trials=8, seed=2)
+
+    def test_density_formula(self, sweep):
+        for p in sweep:
+            assert p.density == pytest.approx(4.0 / (p.n - 1))
+
+    def test_density_decreases_with_n(self, sweep):
+        densities = [p.density for p in sweep]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_skips_infeasible_n(self):
+        sweep = density_sweep(budget=3, n_values=(4, 6, 10), trials=2, seed=0)
+        assert all(p.n > 6 for p in sweep)
+
+    def test_peak(self, sweep):
+        peak = peak_density(sweep)
+        assert peak in sweep
+        assert peak.mean_steps_per_n == max(p.mean_steps_per_n for p in sweep)
+        peak_abs = peak_density(sweep, per_n=False)
+        assert peak_abs.mean_steps == max(p.mean_steps for p in sweep)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            peak_density([])
+
+    def test_dense_cells_are_fast(self, sweep):
+        """§3.4.2: very dense starts converge almost immediately."""
+        densest = sweep[0]
+        sparsest = sweep[-1]
+        assert densest.mean_steps_per_n < sparsest.mean_steps_per_n

@@ -1,0 +1,203 @@
+"""Unit tests for the dense adjacency kernel, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import adjacency as adj
+
+from ..conftest import random_connected_adjacency
+
+
+def nx_from(A):
+    return nx.from_numpy_array(A.astype(int))
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            adj.validate_adjacency(np.zeros((2, 3), dtype=bool))
+
+    def test_rejects_self_loop(self):
+        A = np.zeros((3, 3), dtype=bool)
+        A[1, 1] = True
+        with pytest.raises(ValueError, match="diagonal"):
+            adj.validate_adjacency(A)
+
+    def test_rejects_asymmetric(self):
+        A = np.zeros((3, 3), dtype=bool)
+        A[0, 1] = True
+        with pytest.raises(ValueError, match="symmetric"):
+            adj.validate_adjacency(A)
+
+    def test_rejects_non_binary(self):
+        A = np.full((2, 2), 2)
+        with pytest.raises(ValueError, match="0/1"):
+            adj.validate_adjacency(A)
+
+    def test_accepts_valid(self):
+        adj.validate_adjacency(adj.from_edges(3, [(0, 1), (1, 2)]))
+
+
+class TestConstruction:
+    def test_from_edges_roundtrip(self):
+        edges = [(0, 1), (1, 2), (0, 3)]
+        A = adj.from_edges(4, edges)
+        assert adj.edge_list(A) == sorted((min(u, v), max(u, v)) for u, v in edges)
+
+    def test_from_edges_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            adj.from_edges(3, [(1, 1)])
+
+    def test_from_edges_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            adj.from_edges(3, [(0, 7)])
+
+    def test_empty(self):
+        assert adj.empty_adjacency(4).sum() == 0
+        with pytest.raises(ValueError):
+            adj.empty_adjacency(-1)
+
+    def test_counts(self):
+        A = adj.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        assert adj.num_edges(A) == 5
+        assert adj.degrees(A).tolist() == [2, 2, 2, 2, 2]
+        assert adj.neighbors(A, 0).tolist() == [1, 4]
+
+
+class TestBFS:
+    def test_path_distances(self):
+        A = adj.from_edges(5, [(i, i + 1) for i in range(4)])
+        assert adj.bfs_distances(A, 0).tolist() == [0, 1, 2, 3, 4]
+        assert adj.bfs_distances(A, 2).tolist() == [2, 1, 0, 1, 2]
+
+    def test_disconnected_is_inf(self):
+        A = adj.from_edges(4, [(0, 1)])
+        d = adj.bfs_distances(A, 0)
+        assert d[1] == 1 and np.isinf(d[2]) and np.isinf(d[3])
+
+    def test_mask_removes_vertex(self):
+        # path 0-1-2; removing 1 disconnects 0 from 2
+        A = adj.from_edges(3, [(0, 1), (1, 2)])
+        mask = np.array([True, False, True])
+        d = adj.bfs_distances(A, 0, mask=mask)
+        assert d[0] == 0 and np.isinf(d[1]) and np.isinf(d[2])
+
+    def test_masked_source(self):
+        A = adj.from_edges(2, [(0, 1)])
+        mask = np.array([False, True])
+        assert np.isinf(adj.bfs_distances(A, 0, mask=mask)).all()
+
+    def test_multi_source_matches_single(self, rng):
+        A = random_connected_adjacency(12, 6, rng)
+        D = adj.bfs_distances_multi(A, [0, 3, 7])
+        for row, s in zip(D, [0, 3, 7]):
+            assert np.array_equal(row, adj.bfs_distances(A, s))
+
+    @pytest.mark.parametrize("n,extra", [(6, 0), (10, 5), (15, 20), (25, 40)])
+    def test_against_networkx(self, n, extra, rng):
+        A = random_connected_adjacency(n, extra, rng)
+        G = nx_from(A)
+        ours = adj.all_pairs_distances(A)
+        theirs = dict(nx.all_pairs_shortest_path_length(G))
+        for u in range(n):
+            for v in range(n):
+                assert ours[u, v] == theirs[u][v]
+
+
+class TestAPSP:
+    def test_symmetric_zero_diagonal(self, rng):
+        A = random_connected_adjacency(10, 8, rng)
+        D = adj.all_pairs_distances(A)
+        assert np.array_equal(D, D.T)
+        assert (np.diag(D) == 0).all()
+
+    def test_disconnected_blocks(self):
+        A = adj.from_edges(4, [(0, 1), (2, 3)])
+        D = adj.all_pairs_distances(A)
+        assert D[0, 1] == 1 and np.isinf(D[0, 2]) and np.isinf(D[1, 3])
+
+    def test_distances_without_vertex(self, rng):
+        A = random_connected_adjacency(10, 8, rng)
+        for u in (0, 4, 9):
+            D = adj.distances_without_vertex(A, u)
+            assert np.isinf(D[u]).all() and np.isinf(D[:, u]).all()
+            mask = np.ones(10, dtype=bool)
+            mask[u] = False
+            B = A.copy()
+            B[u, :] = False
+            B[:, u] = False
+            G = nx_from(B)
+            lengths = dict(nx.all_pairs_shortest_path_length(G))
+            for x in range(10):
+                for y in range(10):
+                    if x == u or y == u:
+                        continue
+                    expected = lengths[x].get(y, np.inf)
+                    assert D[x, y] == expected
+
+    def test_empty_graph(self):
+        D = adj.all_pairs_distances(adj.empty_adjacency(3))
+        assert (np.diag(D) == 0).all()
+        assert np.isinf(D[0, 1])
+
+
+class TestComponentsAndBridges:
+    def test_components(self):
+        A = adj.from_edges(5, [(0, 1), (2, 3)])
+        comps = adj.connected_components(A)
+        assert sorted(tuple(c.tolist()) for c in comps) == [(0, 1), (2, 3), (4,)]
+
+    def test_is_connected(self, rng):
+        A = random_connected_adjacency(8, 3, rng)
+        assert adj.is_connected(A)
+        B = A.copy()
+        B[:, 0] = False
+        B[0, :] = False
+        assert not adj.is_connected(B)
+
+    def test_is_connected_without_vertex(self):
+        # star: removing the centre disconnects, removing a leaf does not
+        A = adj.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert not adj.is_connected_without_vertex(A, 0)
+        assert adj.is_connected_without_vertex(A, 1)
+
+    @pytest.mark.parametrize("n,extra", [(8, 0), (12, 4), (16, 10)])
+    def test_bridges_against_networkx(self, n, extra, rng):
+        A = random_connected_adjacency(n, extra, rng)
+        ours = set(adj.bridges(A))
+        theirs = {(min(u, v), max(u, v)) for u, v in nx.bridges(nx_from(A))}
+        assert ours == theirs
+
+    def test_tree_all_edges_are_bridges(self):
+        A = adj.from_edges(5, [(0, 1), (1, 2), (1, 3), (3, 4)])
+        assert set(adj.bridges(A)) == set(adj.edge_list(A))
+        for u, v in adj.edge_list(A):
+            assert adj.is_bridge(A, u, v)
+
+    def test_cycle_has_no_bridges(self):
+        A = adj.from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+        assert adj.bridges(A) == []
+        assert not adj.is_bridge(A, 0, 1)
+
+    def test_is_bridge_nonexistent_edge(self):
+        A = adj.from_edges(3, [(0, 1)])
+        assert not adj.is_bridge(A, 0, 2)
+
+
+class TestEccentricity:
+    def test_path(self):
+        A = adj.from_edges(5, [(i, i + 1) for i in range(4)])
+        assert adj.eccentricities(A).tolist() == [4, 3, 2, 3, 4]
+        assert adj.diameter(A) == 4
+
+    def test_disconnected_diameter(self):
+        A = adj.from_edges(3, [(0, 1)])
+        assert np.isinf(adj.diameter(A))
+
+    def test_against_networkx(self, rng):
+        A = random_connected_adjacency(14, 10, rng)
+        G = nx_from(A)
+        assert adj.diameter(A) == nx.diameter(G)
+        ecc = nx.eccentricity(G)
+        assert adj.eccentricities(A).tolist() == [ecc[v] for v in range(14)]

@@ -1,0 +1,126 @@
+"""Tests for the paper's initial-network generators (§3.4.1 / §4.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import adjacency as adj
+from repro.graphs import generators as gen
+from repro.graphs.properties import is_star, is_tree
+
+
+class TestBudgetNetworks:
+    @pytest.mark.parametrize("n,k", [(10, 1), (20, 2), (30, 3), (25, 5)])
+    def test_exact_budget_profile(self, n, k):
+        net = gen.random_budget_network(n, k, seed=7)
+        assert (net.budget_vector() == k).all()
+        assert net.m == n * k
+        assert net.is_connected()
+
+    def test_deterministic_under_seed(self):
+        a = gen.random_budget_network(20, 2, seed=5)
+        b = gen.random_budget_network(20, 2, seed=5)
+        assert np.array_equal(a.A, b.A) and np.array_equal(a.owner, b.owner)
+
+    def test_different_seeds_differ(self):
+        a = gen.random_budget_network(20, 2, seed=5)
+        b = gen.random_budget_network(20, 2, seed=6)
+        assert not np.array_equal(a.owner, b.owner)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError, match="n > 2\\*budget"):
+            gen.random_budget_network(4, 2, seed=0)
+        with pytest.raises(ValueError, match="budget"):
+            gen.random_budget_network(10, 0, seed=0)
+
+    def test_unit_budget_is_unicyclic(self):
+        net = gen.random_budget_network(12, 1, seed=3)
+        # n vertices, n edges, connected => exactly one cycle
+        assert net.m == 12 and net.is_connected()
+
+
+class TestMEdgeNetworks:
+    @pytest.mark.parametrize("n,m", [(10, 9), (10, 15), (15, 60), (8, 28)])
+    def test_edge_count_and_connectivity(self, n, m):
+        net = gen.random_m_edge_network(n, m, seed=1)
+        assert net.m == m
+        assert net.is_connected()
+
+    def test_every_edge_has_one_owner(self):
+        net = gen.random_m_edge_network(12, 30, seed=2)
+        both = net.owner & net.owner.T
+        assert not both.any()
+        assert (net.owner | net.owner.T).sum() == net.A.sum()
+
+    def test_bounds(self):
+        with pytest.raises(ValueError, match="m >= n-1"):
+            gen.random_m_edge_network(10, 5, seed=0)
+        with pytest.raises(ValueError, match="exceeds"):
+            gen.random_m_edge_network(5, 11, seed=0)
+
+    def test_complete_graph(self):
+        net = gen.random_m_edge_network(6, 15, seed=0)
+        assert net.m == 15 and (adj.degrees(net.A) == 5).all()
+
+
+class TestTrees:
+    @pytest.mark.parametrize("method", ["attach", "prufer"])
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 40])
+    def test_is_tree(self, method, n):
+        net = gen.random_tree_network(n, seed=4, method=method)
+        assert net.m == max(0, n - 1)
+        assert net.is_connected()
+        if n >= 2:
+            assert is_tree(net.A)
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError, match="method"):
+            gen.random_tree_network(5, seed=0, method="nope")
+
+
+class TestLines:
+    def test_path_topology(self):
+        for ownership in ("forward", "backward", "alternate"):
+            net = gen.path_network(6, ownership)
+            deg = adj.degrees(net.A)
+            assert sorted(deg.tolist()) == [1, 1, 2, 2, 2, 2]
+
+    def test_directed_line_ownership(self):
+        net = gen.directed_line_network(5)
+        assert net.owned_edge_list() == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_backward_ownership(self):
+        net = gen.path_network(4, "backward")
+        assert net.owned_edge_list() == [(1, 0), (2, 1), (3, 2)]
+
+    def test_bad_ownership(self):
+        with pytest.raises(ValueError):
+            gen.path_network(4, "sideways")
+
+    def test_random_line_owner_profile(self):
+        net = gen.random_line_network(50, seed=9)
+        # path topology with per-edge random owners: budgets in {0,1,2}
+        assert set(net.budget_vector().tolist()) <= {0, 1, 2}
+        assert net.m == 49
+
+
+class TestFixedShapes:
+    def test_cycle_unit_budget(self):
+        net = gen.cycle_network(7)
+        assert (net.budget_vector() == 1).all()
+        assert (adj.degrees(net.A) == 2).all()
+        with pytest.raises(ValueError):
+            gen.cycle_network(2)
+
+    def test_star(self):
+        net = gen.star_network(6)
+        assert is_star(net.A)
+        assert net.edges_owned_count(0) == 5
+        net2 = gen.star_network(6, center_owns=False)
+        assert net2.edges_owned_count(0) == 0
+
+    def test_double_star(self):
+        from repro.graphs.properties import is_double_star
+
+        net = gen.double_star_network(3, 2)
+        assert is_double_star(net.A)
+        assert net.n == 7

@@ -1,0 +1,151 @@
+"""Tests for structural properties: cost vectors, centres, medians,
+longest paths — including the paper's Lemma 2.8 and Observation 2.9."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import adjacency as adj
+from repro.graphs import properties as props
+
+from ..conftest import random_connected_adjacency
+
+
+def random_tree(n, rng):
+    A = np.zeros((n, n), dtype=bool)
+    order = rng.permutation(n)
+    for i in range(1, n):
+        u, v = order[i], order[rng.integers(i)]
+        A[u, v] = A[v, u] = True
+    return A
+
+
+class TestSortedCostVector:
+    def test_path(self):
+        A = adj.from_edges(5, [(i, i + 1) for i in range(4)])
+        assert props.sorted_cost_vector(A).tolist() == [4, 4, 3, 3, 2]
+
+    def test_observation_2_9_top_two_equal(self, rng):
+        """Observation 2.9: gamma^1 == gamma^2 in any connected network."""
+        for extra in (0, 3, 8):
+            A = random_connected_adjacency(12, extra, rng)
+            v = props.sorted_cost_vector(A)
+            assert v[0] == v[1]
+
+    def test_observation_2_9_center_half(self, rng):
+        """Observation 2.9: gamma^n == ceil(gamma^1 / 2) on trees.
+
+        (On trees radius == ceil(diameter/2) exactly; general graphs only
+        satisfy radius >= ceil(diameter/2), which we check separately.)
+        """
+        for _ in range(10):
+            A = random_tree(rng.integers(3, 20), rng)
+            v = props.sorted_cost_vector(A)
+            assert v[-1] == np.ceil(v[0] / 2)
+
+    def test_radius_lower_bound_general(self, rng):
+        for extra in (2, 6):
+            A = random_connected_adjacency(12, extra, rng)
+            v = props.sorted_cost_vector(A)
+            assert v[-1] >= np.ceil(v[0] / 2)
+
+
+class TestCenters:
+    def test_path_center(self):
+        A = adj.from_edges(5, [(i, i + 1) for i in range(4)])
+        assert props.center_vertices(A).tolist() == [2]
+
+    def test_even_path_two_centers(self):
+        A = adj.from_edges(4, [(i, i + 1) for i in range(3)])
+        assert props.center_vertices(A).tolist() == [1, 2]
+
+    def test_against_networkx(self, rng):
+        A = random_connected_adjacency(12, 6, rng)
+        ours = set(props.center_vertices(A).tolist())
+        theirs = set(nx.center(nx.from_numpy_array(A.astype(int))))
+        assert ours == theirs
+
+
+class TestTreePredicates:
+    def test_is_tree(self):
+        A = adj.from_edges(4, [(0, 1), (1, 2), (1, 3)])
+        assert props.is_tree(A)
+        B = adj.from_edges(4, [(0, 1), (1, 2), (2, 0)])
+        assert not props.is_tree(B)  # disconnected vertex 3 + cycle
+
+    def test_is_forest(self):
+        A = adj.from_edges(5, [(0, 1), (2, 3)])
+        assert props.is_forest(A) and not props.is_tree(A)
+        B = adj.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert not props.is_forest(B)
+
+    def test_is_star(self):
+        assert props.is_star(adj.from_edges(5, [(0, i) for i in range(1, 5)]))
+        assert props.is_star(adj.from_edges(2, [(0, 1)]))
+        assert not props.is_star(adj.from_edges(4, [(0, 1), (1, 2), (2, 3)]))
+
+    def test_is_double_star(self):
+        # centres 0-1, leaves 2,3 on 0 and 4 on 1
+        A = adj.from_edges(5, [(0, 1), (0, 2), (0, 3), (1, 4)])
+        assert props.is_double_star(A)
+        assert not props.is_double_star(adj.from_edges(4, [(0, i) for i in (1, 2, 3)]))
+        path5 = adj.from_edges(5, [(i, i + 1) for i in range(4)])
+        assert not props.is_double_star(path5)
+
+
+class TestLongestPaths:
+    def test_path_endpoints(self):
+        A = adj.from_edges(4, [(i, i + 1) for i in range(3)])
+        paths = props.longest_paths_from(A, 0)
+        assert paths == [[0, 1, 2, 3]]
+
+    def test_center_has_two(self):
+        A = adj.from_edges(5, [(i, i + 1) for i in range(4)])
+        paths = props.longest_paths_from(A, 2)
+        assert sorted(map(tuple, paths)) == [(2, 1, 0), (2, 3, 4)]
+
+    def test_disconnected_raises(self):
+        A = adj.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError, match="disconnected"):
+            props.longest_paths_from(A, 0)
+
+    def test_lemma_2_8_center_on_all_longest_paths(self, rng):
+        """Lemma 2.8: every centre-vertex of a tree lies on all longest
+        paths of all agents."""
+        for _ in range(8):
+            A = random_tree(int(rng.integers(3, 14)), rng)
+            for c in props.center_vertices(A):
+                assert props.vertex_on_all_longest_paths(A, int(c))
+
+    def test_non_center_fails_on_path(self):
+        A = adj.from_edges(5, [(i, i + 1) for i in range(4)])
+        assert not props.vertex_on_all_longest_paths(A, 0)
+
+
+class TestMedians:
+    def test_one_median_of_path(self):
+        A = adj.from_edges(5, [(i, i + 1) for i in range(4)])
+        assert props.one_median_vertices(A).tolist() == [2]
+
+    def test_one_median_of_star(self):
+        A = adj.from_edges(5, [(0, i) for i in range(1, 5)])
+        assert props.one_median_vertices(A).tolist() == [0]
+
+    def test_two_median_of_path6(self):
+        A = adj.from_edges(6, [(i, i + 1) for i in range(5)])
+        # optimal 2-median of P6 is {1, 4}: cost 1+0+1+1+0+1 = 4
+        assert (1, 4) in props.two_median_sets(A)
+        cost, _ = props.k_median_sets(A, 2)
+        assert cost == 4
+
+    def test_k_median_candidates_restriction(self):
+        A = adj.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        cost, sets = props.k_median_sets(A, 1, candidates=[0, 3])
+        assert cost == 6 and sorted(sets) == [(0,), (3,)]
+
+    def test_k_center(self):
+        A = adj.from_edges(5, [(i, i + 1) for i in range(4)])
+        cost, sets = props.k_center_vertices(A, 1)
+        assert cost == 2 and sets == [(2,)]
+        cost2, sets2 = props.k_center_vertices(A, 2)
+        assert cost2 == 1

@@ -1,0 +1,90 @@
+"""Consequences of the cycles: no potential functions on general
+networks, and the structure of stable networks the dynamics reach.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import run_dynamics
+from repro.core.games import GreedyBuyGame, SwapGame
+from repro.core.policies import RandomPolicy
+from repro.graphs import adjacency as adj
+from repro.graphs.properties import is_star, sorted_cost_vector
+from repro.instances.figures import fig2_max_sg_cycle
+from repro.theory.tree_dynamics import lex_less
+
+
+class TestNoPotentialOnGeneralNetworks:
+    def test_sorted_cost_vector_fails_on_fig2(self):
+        """Lemma 2.6's potential works on trees only: around Figure 2's
+        cycle the sorted cost vector does NOT decrease at every step
+        (it cannot — the cycle returns to its start)."""
+        inst = fig2_max_sg_cycle()
+        net = inst.network.copy()
+        decreases = []
+        for _, mv in inst.moves():
+            before = sorted_cost_vector(net.A)
+            mv.apply(net)
+            after = sorted_cost_vector(net.A)
+            decreases.append(lex_less(after, before))
+        assert not all(decreases)
+
+    def test_any_candidate_potential_must_fail_somewhere(self):
+        """Generic impossibility check: along a closed improving cycle,
+        *no* real-valued function can strictly decrease at every step.
+        We verify the cycle is closed and every move improving, which is
+        the full argument."""
+        inst = fig2_max_sg_cycle()
+        game = inst.game
+        net = inst.network.copy()
+        for agent, mv in inst.moves():
+            before = game.current_cost(net, agent)
+            mv.apply(net)
+            assert game.current_cost(net, agent) < before
+        assert net.state_key(False) == inst.network.state_key(False)
+
+
+class TestStableNetworkStructure:
+    """§4.2.2: 'We have not found any stable network having a diameter
+    larger than 4, which implies for our values of alpha that almost all
+    stable networks happened to be stars.'"""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sum_gbg_stable_diameter_at_most_4(self, seed):
+        from repro.graphs.generators import random_m_edge_network
+
+        n = 16
+        net = random_m_edge_network(n, 2 * n, seed=seed)
+        game = GreedyBuyGame("sum", alpha=n / 4)
+        res = run_dynamics(game, net, RandomPolicy(), seed=seed, max_steps=50 * n)
+        assert res.converged
+        assert adj.diameter(res.final.A) <= 4
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_high_alpha_stable_networks_are_star_like(self, seed):
+        from repro.graphs.generators import random_m_edge_network
+
+        n = 14
+        net = random_m_edge_network(n, 2 * n, seed=seed)
+        game = GreedyBuyGame("sum", alpha=float(n))
+        res = run_dynamics(game, net, RandomPolicy(), seed=seed, max_steps=50 * n)
+        assert res.converged
+        # trees with small diameter; usually exactly a star
+        assert res.final.m <= n  # at most one redundant edge survives
+        assert adj.diameter(res.final.A) <= 4
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_max_gbg_stable_diameter_bounded_by_alpha(self, seed):
+        """For MAX-GBG stability the provable invariant is
+        ``diam < 2*(alpha + 1) + 1``: otherwise the agent of maximum
+        eccentricity profits from buying an edge to a centre vertex
+        (new eccentricity <= radius + 1 <= ceil(diam/2) + 1)."""
+        from repro.graphs.generators import random_m_edge_network
+
+        n = 14
+        alpha = n / 4
+        net = random_m_edge_network(n, 4 * n, seed=seed)
+        game = GreedyBuyGame("max", alpha=alpha)
+        res = run_dynamics(game, net, RandomPolicy(), seed=seed, max_steps=60 * n)
+        assert res.converged
+        assert adj.diameter(res.final.A) < 2 * (alpha + 1) + 1

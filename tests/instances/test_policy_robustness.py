@@ -1,0 +1,86 @@
+"""Theorem 2.16 / 3.3 in action: *no move policy can enforce convergence*.
+
+A move policy only chooses who moves — never which best response the
+mover plays.  On instances whose every state has exactly one unhappy
+agent, every policy is forced to select that agent, and an adversarial
+choice among its best responses keeps the process cycling forever.
+These tests run that adversary against every policy in the library.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.games import Game
+from repro.core.network import Network
+from repro.core.policies import (
+    FirstUnhappyPolicy,
+    MaxCostPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+from repro.instances.figures import fig2_max_sg_cycle, fig3_sum_asg_cycle
+
+ALL_POLICIES = [
+    MaxCostPolicy,
+    RandomPolicy,
+    FirstUnhappyPolicy,
+    RoundRobinPolicy,
+]
+
+
+def run_with_adversarial_moves(game: Game, initial: Network, policy, cycle_moves, steps: int):
+    """Drive the dynamics: the policy picks the agent; the adversary
+    picks, among that agent's best responses, a move of the cycle if one
+    is available (else the first best response).  Returns the number of
+    steps actually played and whether any state was ever stable."""
+    rng = np.random.default_rng(0)
+    net = initial.copy()
+    cycle_keys = {(m.agent, m.old, m.new) for _, m in cycle_moves if hasattr(m, "old")}
+    played = 0
+    for _ in range(steps):
+        br = policy.select(game, net, rng)
+        if br is None:
+            return played, True
+        pick = None
+        for move in br.moves:
+            if hasattr(move, "old") and (move.agent, move.old, move.new) in cycle_keys:
+                pick = move
+                break
+        if pick is None:
+            pick = br.moves[0]
+        pick.apply(net)
+        policy.notify(br.agent)
+        played += 1
+    return played, False
+
+
+@pytest.mark.parametrize("policy_cls", ALL_POLICIES)
+def test_fig2_every_policy_can_be_cycled(policy_cls):
+    inst = fig2_max_sg_cycle()
+    # the adversary knows the full rotating move set (all 3 rotations of
+    # each swap = 9 keyed moves); generate them by replaying 3 cycles
+    moves = []
+    net = inst.network.copy()
+    for _ in range(3):
+        for agent, mv in inst.moves():
+            moves.append((agent, mv))
+    played, converged = run_with_adversarial_moves(
+        inst.game, inst.network, policy_cls(), inst.moves(), steps=30
+    )
+    assert not converged
+    assert played == 30  # still cycling after 10 full rotations
+
+
+@pytest.mark.parametrize("policy_cls", ALL_POLICIES)
+def test_fig3_every_policy_cycles_even_without_adversary(policy_cls):
+    """fig3 is stronger: the best response is *unique* in every state,
+    so no adversary is needed — any policy cycles deterministically."""
+    from repro.core.dynamics import run_dynamics
+
+    inst = fig3_sum_asg_cycle()
+    res = run_dynamics(
+        inst.game, inst.network, policy_cls(), seed=1,
+        max_steps=40, detect_cycles=True,
+    )
+    assert res.status == "cycled"
+    assert res.cycle_length == 4

@@ -1,0 +1,135 @@
+"""Tests for the counterexample search engines and the cycle verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.games import AsymmetricSwapGame, SwapGame
+from repro.core.moves import Swap
+from repro.core.network import Network
+from repro.graphs.generators import path_network, star_network
+from repro.instances.search import (
+    Fig5Template,
+    Fig6Template,
+    br_cycle_from,
+    search_rotation_symmetric_sg_cycle,
+)
+from repro.instances.verify import (
+    CycleReport,
+    are_isomorphic,
+    verify_cycle,
+    verify_not_weakly_acyclic,
+)
+
+
+class TestRotationSearch:
+    def test_finds_fig2_like_instances(self):
+        found = search_rotation_symmetric_sg_cycle(limit=1)
+        assert found
+        fc = found[0]
+        states = fc.states()
+        assert states[0].state_key(False) == states[-1].state_key(False)
+
+    def test_found_instances_have_unique_unhappy_agent(self):
+        found = search_rotation_symmetric_sg_cycle(limit=1)
+        game = SwapGame("max")
+        net = found[0].initial
+        assert game.unhappy_agents(net) == [net.index("a1")]
+
+
+class TestTemplates:
+    def test_fig5_template_unit_budget(self):
+        net = Fig5Template(8, 4, "star", "near", "b3", d_shape="star").build()
+        assert net is not None
+        assert (net.budget_vector() == 1).all()
+
+    def test_fig5_template_invalid_combo_returns_none_or_net(self):
+        # a 2-cycle c1 <-> d1-ish combination must not crash
+        out = Fig5Template(6, 3, "star", "near", "c1").build()
+        assert out is None or out.is_connected()
+
+    def test_fig6_template_builds(self):
+        net = Fig6Template(0, "d1", "b1", "c1", 0).build()
+        assert net is not None
+        assert (net.budget_vector() == 1).all()
+        assert net.n == 20 and net.m == 20
+
+
+class TestBRCycleDFS:
+    def test_no_cycle_on_trees(self):
+        game = AsymmetricSwapGame("sum")
+        net = path_network(6, "alternate")
+        assert br_cycle_from(game, net, list(range(6)), max_depth=5) is None
+
+    def test_finds_fig3_cycle(self):
+        from repro.instances.figures import fig3_sum_asg_cycle
+
+        inst = fig3_sum_asg_cycle()
+        movers = [inst.network.index("f"), inst.network.index("b")]
+        cyc = br_cycle_from(inst.game, inst.network, movers, max_depth=5)
+        assert cyc is not None and len(cyc) == 4
+
+
+class TestVerifier:
+    def test_rejects_non_improving_move(self):
+        net = star_network(5)
+        game = SwapGame("sum")
+        rep = verify_cycle(game, net, [(1, Swap(1, 0, 2))], require_best_response=False)
+        assert not rep.ok
+        assert any("does not improve" in f for f in rep.failures)
+
+    def test_rejects_non_closing_sequence(self):
+        net = path_network(5)
+        game = SwapGame("sum")
+        rep = verify_cycle(game, net, [(0, Swap(0, 1, 2))], require_best_response=False)
+        assert not rep.ok
+        assert any("does not return" in f for f in rep.failures)
+
+    def test_raise_if_failed(self):
+        rep = CycleReport(ok=False, steps=0, failures=["boom"])
+        with pytest.raises(AssertionError, match="boom"):
+            rep.raise_if_failed()
+        CycleReport(ok=True, steps=1).raise_if_failed()
+
+    def test_not_weakly_acyclic_flags_stable_state(self):
+        net = star_network(5)
+        game = SwapGame("sum")
+        rep = verify_not_weakly_acyclic(game, [net])
+        assert not rep.ok
+        assert any("vacuous" in f for f in rep.failures)
+
+
+class TestIsomorphism:
+    def test_isomorphic_relabelling(self, rng):
+        from ..conftest import random_connected_adjacency
+
+        A = random_connected_adjacency(9, 5, rng)
+        perm = rng.permutation(9)
+        B = np.zeros_like(A)
+        B[np.ix_(perm, perm)] = A
+        mapping = are_isomorphic(A, B)
+        assert mapping is not None
+        for u in range(9):
+            for v in range(9):
+                assert B[mapping[u], mapping[v]] == A[u, v]
+
+    def test_non_isomorphic_same_degrees(self):
+        # C6 vs two triangles: same degree sequence, different graphs
+        C6 = np.zeros((6, 6), dtype=bool)
+        for i in range(6):
+            C6[i, (i + 1) % 6] = C6[(i + 1) % 6, i] = True
+        TT = np.zeros((6, 6), dtype=bool)
+        for tri in ((0, 1, 2), (3, 4, 5)):
+            for i in range(3):
+                a, b = tri[i], tri[(i + 1) % 3]
+                TT[a, b] = TT[b, a] = True
+        assert are_isomorphic(C6, TT) is None
+
+    def test_different_sizes(self):
+        assert are_isomorphic(np.zeros((2, 2), bool), np.zeros((3, 3), bool)) is None
+
+    def test_path_vs_star(self):
+        from repro.graphs import adjacency as adj
+
+        P = adj.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        S = adj.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert are_isomorphic(P, S) is None

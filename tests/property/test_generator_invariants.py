@@ -1,0 +1,65 @@
+"""Property-based tests for the initial-network generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import adjacency as adj
+from repro.graphs import generators as gen
+from repro.graphs.properties import is_tree
+
+
+@given(st.integers(5, 40), st.integers(1, 3), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_budget_network_invariants(n, k, seed):
+    if n <= 2 * k:
+        return
+    net = gen.random_budget_network(n, k, seed=seed)
+    assert (net.budget_vector() == k).all()
+    assert net.m == n * k
+    assert net.is_connected()
+    # ownership consistency: every edge exactly one owner
+    assert not (net.owner & net.owner.T).any()
+    assert ((net.owner | net.owner.T) == net.A).all()
+
+
+@given(st.integers(3, 25), st.data())
+@settings(max_examples=30, deadline=None)
+def test_m_edge_network_invariants(n, data):
+    m = data.draw(st.integers(n - 1, n * (n - 1) // 2))
+    seed = data.draw(st.integers(0, 10_000))
+    net = gen.random_m_edge_network(n, m, seed=seed)
+    assert net.m == m
+    assert net.is_connected()
+    assert not net.A.diagonal().any()
+
+
+@given(st.integers(1, 30), st.integers(0, 10_000),
+       st.sampled_from(["attach", "prufer"]))
+@settings(max_examples=30, deadline=None)
+def test_tree_generators_produce_trees(n, seed, method):
+    net = gen.random_tree_network(n, seed=seed, method=method)
+    assert net.m == max(0, n - 1)
+    if n >= 2:
+        assert is_tree(net.A)
+
+
+@given(st.integers(2, 40), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_random_line_is_a_path(n, seed):
+    net = gen.random_line_network(n, seed=seed)
+    deg = adj.degrees(net.A)
+    assert sorted(deg.tolist()) == [1, 1] + [2] * (n - 2) if n > 1 else [0]
+    assert adj.diameter(net.A) == n - 1
+
+
+@given(st.integers(5, 30), st.integers(1, 2), st.integers(0, 5_000))
+@settings(max_examples=15, deadline=None)
+def test_budget_generator_deterministic(n, k, seed):
+    if n <= 2 * k:
+        return
+    a = gen.random_budget_network(n, k, seed=seed)
+    b = gen.random_budget_network(n, k, seed=seed)
+    assert np.array_equal(a.A, b.A)
+    assert np.array_equal(a.owner, b.owner)

@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the graph kernel.
+
+Strategy: generate random graphs from edge-subset seeds and check our
+kernel against networkx and against mathematical invariants.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import adjacency as adj
+from repro.graphs import properties as props
+
+
+@st.composite
+def graphs(draw, min_n=2, max_n=12, connected=False):
+    n = draw(st.integers(min_n, max_n))
+    all_pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    if connected:
+        # random tree skeleton + random extra edges
+        perm = draw(st.permutations(range(n)))
+        edges = set()
+        for i in range(1, n):
+            j = draw(st.integers(0, i - 1))
+            u, v = perm[i], perm[j]
+            edges.add((min(u, v), max(u, v)))
+        extra = draw(st.lists(st.sampled_from(all_pairs), max_size=2 * n))
+        edges |= set(extra)
+    else:
+        edges = set(draw(st.lists(st.sampled_from(all_pairs), max_size=3 * n)))
+    return adj.from_edges(n, sorted(edges))
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_apsp_matches_networkx(A):
+    G = nx.from_numpy_array(A.astype(int))
+    D = adj.all_pairs_distances(A)
+    lengths = dict(nx.all_pairs_shortest_path_length(G))
+    n = A.shape[0]
+    for u in range(n):
+        for v in range(n):
+            assert D[u, v] == lengths[u].get(v, np.inf)
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_apsp_triangle_inequality(A):
+    D = adj.all_pairs_distances(A)
+    n = A.shape[0]
+    finite = np.isfinite(D)
+    for u in range(n):
+        for v in range(n):
+            if not finite[u, v]:
+                continue
+            # relaxing through any intermediate w cannot shortcut D
+            through = D[u] + D[:, v]
+            assert D[u, v] <= through.min() + 1e-9
+
+
+@given(graphs(connected=True))
+@settings(max_examples=50, deadline=None)
+def test_bridges_match_networkx(A):
+    G = nx.from_numpy_array(A.astype(int))
+    ours = set(adj.bridges(A))
+    theirs = {(min(u, v), max(u, v)) for u, v in nx.bridges(G)}
+    assert ours == theirs
+
+
+@given(graphs(connected=True))
+@settings(max_examples=50, deadline=None)
+def test_observation_2_9_on_connected_graphs(A):
+    """gamma^1 == gamma^2 and radius >= ceil(diameter/2) always; equality
+    of the second part on trees."""
+    v = props.sorted_cost_vector(A)
+    assert v[0] == v[1]
+    assert v[-1] >= np.ceil(v[0] / 2) - 1e-9
+    if props.is_tree(A):
+        assert v[-1] == np.ceil(v[0] / 2)
+
+
+@given(graphs(connected=True))
+@settings(max_examples=40, deadline=None)
+def test_distances_without_vertex_consistent(A):
+    n = A.shape[0]
+    u = n // 2
+    D = adj.distances_without_vertex(A, u)
+    # distances in G-u can only be >= distances in G
+    full = adj.all_pairs_distances(A)
+    mask = np.ones(n, dtype=bool)
+    mask[u] = False
+    sub = D[np.ix_(mask, mask)]
+    ref = full[np.ix_(mask, mask)]
+    assert (sub >= ref - 1e-9).all()
+
+
+@given(graphs(connected=True))
+@settings(max_examples=40, deadline=None)
+def test_eccentricity_bounds(A):
+    ecc = adj.eccentricities(A)
+    assert ecc.max() <= 2 * ecc.min()  # diameter <= 2 * radius
+
+
+@given(graphs(min_n=3, connected=True))
+@settings(max_examples=40, deadline=None)
+def test_center_vertices_lie_on_longest_paths_of_trees(A):
+    if not props.is_tree(A):
+        return
+    for c in props.center_vertices(A):
+        assert props.vertex_on_all_longest_paths(A, int(c))

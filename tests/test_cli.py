@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro`` command line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestVerify:
+    def test_verify_all_defaults(self, capsys):
+        assert main(["verify", "fig9", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "OK  fig9" in out and "OK  fig10" in out
+
+    def test_verify_unknown_figure(self, capsys):
+        assert main(["verify", "fig99"]) == 1
+        assert "unknown figure" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_asg(self, capsys):
+        assert main(["run", "--game", "asg", "--n", "15", "--seed", "1"]) == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_run_gbg(self, capsys):
+        assert main(["run", "--game", "gbg", "--n", "12", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "move mix" in out
+
+    def test_run_sg(self, capsys):
+        assert main(["run", "--game", "sg", "--n", "12", "--seed", "0"]) == 0
+
+
+class TestExperiment:
+    def test_experiment_small_grid(self, capsys):
+        rc = main(["experiment", "fig7", "--trials", "2", "--n", "10,14"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "k=1, max cost" in out and "[5n]" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+
+class TestClassify:
+    def test_classify_fig3_br(self, capsys):
+        rc = main(["classify", "fig3", "--best-response"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "weakly-acyclic=False" in out

@@ -1,0 +1,41 @@
+"""Unit tests for the closed-form bound helpers."""
+
+import math
+
+import pytest
+
+from repro.theory.bounds import (
+    diameter_phase_bound,
+    max_sg_tree_bound,
+    nlogn,
+    sum_asg_maxcost_bound,
+)
+
+
+def test_max_sg_tree_bound_monotone_cubic():
+    vals = [max_sg_tree_bound(n) for n in (5, 10, 20, 40)]
+    assert vals == sorted(vals)
+    # cubic growth: x8 when n doubles twice, within slack
+    assert vals[3] > 6 * vals[2]
+
+
+def test_max_sg_tree_bound_small():
+    assert max_sg_tree_bound(2) == 0.0
+    assert max_sg_tree_bound(3) == 0.0
+    assert max_sg_tree_bound(4) == (4 * 3 - 9) / 2 + 1
+
+
+def test_diameter_phase_bound_matches_lemma():
+    # Lemma 2.10: (n*D - D^2)/2
+    assert diameter_phase_bound(10, 4) == (40 - 16) / 2
+
+
+def test_sum_asg_bound_parity():
+    assert sum_asg_maxcost_bound(10) == 7
+    assert sum_asg_maxcost_bound(11) == 11 + math.ceil(11 / 2) - 5
+    assert sum_asg_maxcost_bound(2) == 0
+
+
+def test_nlogn():
+    assert nlogn(1) == 0.0
+    assert nlogn(8) == 24.0
