@@ -1,15 +1,29 @@
 """Kernel micro-benchmarks: APSP, single-source BFS, deviation pricing,
-full best-response computation and one dynamics step.
+full best-response computation, one dynamics step — and whole
+dynamics *trajectories* under the dense vs incremental distance
+backends (the engine of ``repro.graphs.incremental``).
 
 These are the quantities the hpc-parallel tuning was aimed at; the APSP
-via layered boolean matmul is the hot path of every experiment.
+via layered boolean matmul is the hot path of every experiment, and the
+trajectory benchmark records how much of it the incremental engine
+avoids re-doing.
+
+Run standalone (``python benchmarks/bench_kernel.py``) to emit the
+machine-readable ``BENCH_kernel.json`` baseline at the repo root —
+future PRs diff against it for the perf trajectory.  ``--smoke`` runs
+only the smallest grid cell (used by CI).
 """
+
+import json
+import pathlib
+import time
 
 import numpy as np
 import pytest
 
 from repro.core.best_response import DeviationEvaluator
 from repro.core.costs import DistanceMode
+from repro.core.dynamics import run_dynamics
 from repro.core.games import AsymmetricSwapGame, GreedyBuyGame
 from repro.core.policies import MaxCostPolicy
 from repro.graphs import adjacency as adj
@@ -70,3 +84,119 @@ def test_maxcost_policy_select_n50(benchmark, net50):
 def test_unhappy_scan_n50(benchmark, net50):
     game = AsymmetricSwapGame("max")
     benchmark(game.unhappy_agents, net50)
+
+
+# ---------------------------------------------------------------------------
+# dynamics-trajectory benchmark: dense vs incremental backend
+# ---------------------------------------------------------------------------
+
+TRAJECTORY_NS = (30, 60, 120)
+TRAJECTORY_SEED = 7
+
+
+def _trajectory_setup(game_kind: str, n: int):
+    """One reproducible (game, initial network, step cap) trajectory cell."""
+    if game_kind == "asg":
+        game = AsymmetricSwapGame("sum")
+        net = random_budget_network(n, 3, seed=TRAJECTORY_SEED)
+    elif game_kind == "gbg":
+        game = GreedyBuyGame("sum", alpha=n / 4.0)
+        net = random_m_edge_network(n, 2 * n, seed=TRAJECTORY_SEED)
+    else:
+        raise ValueError(game_kind)
+    return game, net, 3 * n
+
+
+def run_trajectory(game_kind: str, n: int, backend: str):
+    """Run one trajectory cell under ``backend``; returns (seconds, result)."""
+    game, net, max_steps = _trajectory_setup(game_kind, n)
+    t0 = time.perf_counter()
+    result = run_dynamics(
+        game, net, MaxCostPolicy(), seed=TRAJECTORY_SEED,
+        max_steps=max_steps, backend=backend,
+    )
+    return time.perf_counter() - t0, result
+
+
+def bench_trajectory_cell(game_kind: str, n: int) -> dict:
+    """Time both backends on one cell and verify trajectory equivalence."""
+    dense_s, dense = run_trajectory(game_kind, n, "dense")
+    inc_s, inc = run_trajectory(game_kind, n, "incremental")
+    assert [(r.agent, r.move) for r in dense.trajectory] == [
+        (r.agent, r.move) for r in inc.trajectory
+    ], f"{game_kind} n={n}: backends diverged"
+    assert dense.final.state_key() == inc.final.state_key()
+    return {
+        "game": game_kind,
+        "n": n,
+        "steps": dense.steps,
+        "status": dense.status,
+        "dense_s": round(dense_s, 4),
+        "incremental_s": round(inc_s, 4),
+        "speedup": round(dense_s / inc_s, 2),
+        "backend_stats": inc.backend_stats,
+    }
+
+
+@pytest.mark.parametrize("game_kind", ["asg", "gbg"])
+@pytest.mark.parametrize("n", TRAJECTORY_NS)
+def test_dynamics_trajectory_backends(game_kind, n):
+    """Backend equivalence at every grid cell.
+
+    The >=2x speedup floor at n=120 is opt-in (``BENCH_ASSERT_SPEEDUP=1``)
+    so a loaded machine or a no-BLAS numpy cannot fail the *equivalence*
+    signal with a perf flake; the standalone ``main()`` run always
+    records the measured ratios in BENCH_kernel.json.
+    """
+    import os
+
+    cell = bench_trajectory_cell(game_kind, n)
+    if n == 120 and os.environ.get("BENCH_ASSERT_SPEEDUP"):
+        assert cell["speedup"] >= 2.0, cell
+    print(f"\n{game_kind} n={n}: dense {cell['dense_s']}s, "
+          f"incremental {cell['incremental_s']}s ({cell['speedup']}x)")
+
+
+def main(smoke: bool = False) -> dict:
+    """Run the trajectory matrix; full runs write the BENCH_kernel.json
+    baseline, ``--smoke`` runs (CI) only print — they must never clobber
+    the committed full-grid baseline with reduced data."""
+    ns = TRAJECTORY_NS[:1] if smoke else TRAJECTORY_NS
+    net = random_budget_network(100, 3, seed=1)
+    reps = 3 if smoke else 10
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        adj.all_pairs_distances(net.A)
+    apsp_ms = (time.perf_counter() - t0) / reps * 1e3
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        adj.all_pairs_distances_fast(net.A)
+    apsp_fast_ms = (time.perf_counter() - t0) / reps * 1e3
+    summary = {
+        "kernel": {
+            "apsp_bool_matmul_n100_ms": round(apsp_ms, 3),
+            "apsp_blas_layered_n100_ms": round(apsp_fast_ms, 3),
+        },
+        "trajectories": [
+            bench_trajectory_cell(game_kind, n)
+            for game_kind in ("asg", "gbg")
+            for n in ns
+        ],
+    }
+    for cell in summary["trajectories"]:
+        print(f"{cell['game']:>4} n={cell['n']:>3}: steps={cell['steps']:>4} "
+              f"dense={cell['dense_s']:.2f}s incremental={cell['incremental_s']:.2f}s "
+              f"speedup={cell['speedup']:.2f}x")
+    if smoke:
+        print("smoke run: baseline not rewritten")
+    else:
+        out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+        out.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"baseline written to {out}")
+    return summary
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(smoke="--smoke" in sys.argv)

@@ -1,2 +1,18 @@
-from setuptools import setup
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="selfish-network-dynamics",
+    version="0.1.0",
+    description=(
+        "Reproduction of Kawald & Lenzner, 'On Dynamics in Selfish "
+        "Network Creation' (SPAA 2013): swap/buy network creation games, "
+        "best-response dynamics, and the paper's experiments"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

@@ -45,21 +45,27 @@ class DeviationEvaluator:
         the deviating agent.
     mode:
         SUM or MAX distance aggregation.
+    D:
+        optional precomputed ``APSP(G - u)`` matrix (row/column ``u``
+        ``inf``), e.g. from an incremental
+        :class:`repro.graphs.incremental.DistanceBackend`.  The
+        evaluator reads but never writes it.
 
     Notes
     -----
-    The evaluator computes ``D = APSP(G - u)`` once at construction.
-    All methods then treat a *strategy* as the full neighbour set the
-    agent would have after the deviation (callers add back the incident
-    edges owned by other agents, which the deviator cannot touch).
+    Without ``D`` the evaluator computes ``APSP(G - u)`` once at
+    construction.  All methods then treat a *strategy* as the full
+    neighbour set the agent would have after the deviation (callers add
+    back the incident edges owned by other agents, which the deviator
+    cannot touch).
     """
 
-    def __init__(self, net: Network, u: int, mode: DistanceMode):
+    def __init__(self, net: Network, u: int, mode: DistanceMode, D: np.ndarray | None = None):
         self.net = net
         self.u = int(u)
         self.n = net.n
         self.mode = mode
-        self.D = adj.distances_without_vertex(net.A, self.u)
+        self.D = adj.distances_without_vertex(net.A, self.u) if D is None else D
 
     # -- scalar evaluation -------------------------------------------------
     def distance_vector(self, neighbor_ids: Sequence[int] | np.ndarray) -> np.ndarray:

@@ -18,18 +18,63 @@ cleanup) falls out of ``RunResult.move_counts`` /
 
 from __future__ import annotations
 
+import inspect
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..graphs.incremental import DistanceBackend, make_backend
 from .games import BestResponse, Game
 from .moves import Move, move_kind
 from .network import Network
 from .policies import MovePolicy
 
-__all__ = ["StepRecord", "RunResult", "run_dynamics", "choose_move"]
+__all__ = [
+    "StepRecord",
+    "RunResult",
+    "run_dynamics",
+    "choose_move",
+    "resolve_backend",
+    "AUTO_BACKEND_MIN_N",
+]
+
+#: below this many agents the incremental engine's bookkeeping (state
+#: hashing, snapshot diffs) costs more than just re-running tiny BFSes.
+AUTO_BACKEND_MIN_N = 32
+
+
+def _select_caller(policy: MovePolicy):
+    """Adapter calling ``policy.select`` with or without ``backend``.
+
+    In-tree policies take the keyword; user subclasses written against
+    the original three-argument signature keep working (they simply
+    price densely inside their own calls).
+    """
+    try:
+        params = inspect.signature(policy.select).parameters
+    except (TypeError, ValueError):  # builtins / C-implemented callables
+        params = {}
+    accepts = "backend" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    if accepts:
+        return policy.select
+    return lambda game, net, rng, backend=None: policy.select(game, net, rng)
+
+
+def resolve_backend(policy: MovePolicy, net: Network, backend):
+    """Shared bootstrap for every dynamics loop: resolve the ``"auto"``
+    size heuristic, build the backend, and wrap ``policy.select`` so
+    legacy three-argument policies keep working.
+
+    Returns ``(backend_obj, select)`` where ``select(game, net, rng,
+    backend=...)`` is always safe to call.
+    """
+    if backend == "auto":
+        backend = "incremental" if net.n >= AUTO_BACKEND_MIN_N else "dense"
+    return make_backend(backend), _select_caller(policy)
 
 
 @dataclass
@@ -58,6 +103,8 @@ class RunResult:
     final: Network
     trajectory: List[StepRecord] = field(default_factory=list)
     cycle_start: Optional[int] = None
+    #: instrumentation counters of the distance backend (empty for dense)
+    backend_stats: Dict = field(default_factory=dict)
 
     @property
     def converged(self) -> bool:
@@ -116,6 +163,7 @@ def run_dynamics(
     record_trajectory: bool = True,
     detect_cycles: bool = False,
     copy_initial: bool = True,
+    backend: Union[str, DistanceBackend, None] = "auto",
 ) -> RunResult:
     """Run the sequential-move process until stability (or not).
 
@@ -135,22 +183,37 @@ def run_dynamics(
         ``status == "cycled"`` on the first revisit.
     copy_initial:
         work on a copy of ``initial`` (default) or mutate it in place.
+    backend:
+        distance engine: ``"incremental"`` maintains APSP and
+        ``D(G - u)`` state across steps and memoises best responses per
+        ``(agent, state)``; ``"dense"`` recomputes everything from
+        scratch each query (the equivalence oracle — both produce
+        bit-identical trajectories); ``"auto"`` (default) picks
+        incremental from ``AUTO_BACKEND_MIN_N`` agents upwards; or a
+        prebuilt :class:`~repro.graphs.incremental.DistanceBackend`.
     """
     if rng is not None and seed is not None:
         raise ValueError("pass either rng or seed, not both")
     if rng is None:
         rng = np.random.default_rng(seed)
     net = initial.copy() if copy_initial else initial
+    backend_obj, select = resolve_backend(policy, net, backend)
     policy.reset()
     trajectory: List[StepRecord] = []
     seen: Dict[bytes, int] = {}
     if detect_cycles:
         seen[net.state_key()] = 0
 
+    def finish(status: str, steps: int, cycle_start: Optional[int] = None) -> RunResult:
+        return RunResult(
+            status, steps, net, trajectory,
+            cycle_start=cycle_start, backend_stats=backend_obj.stats(),
+        )
+
     for step in range(max_steps):
-        br = policy.select(game, net, rng)
+        br = select(game, net, rng, backend=backend_obj)
         if br is None:
-            return RunResult("converged", step, net, trajectory)
+            return finish("converged", step)
         move = choose_move(br, rng, move_tie_break)
         kind = move_kind(move, net)
         move.apply(net)
@@ -162,7 +225,7 @@ def run_dynamics(
         if detect_cycles:
             key = net.state_key()
             if key in seen:
-                return RunResult("cycled", step + 1, net, trajectory, cycle_start=seen[key])
+                return finish("cycled", step + 1, cycle_start=seen[key])
             seen[key] = step + 1
 
-    return RunResult("exhausted", max_steps, net, trajectory)
+    return finish("exhausted", max_steps)

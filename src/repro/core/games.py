@@ -14,6 +14,14 @@ Host graphs (Corollaries 3.6 and 4.2) restrict which edges may ever be
 created: a move is admissible only if every edge it creates is an edge
 of the host graph.
 
+All distance-dependent methods accept an optional ``backend`` — a
+:class:`repro.graphs.incremental.DistanceBackend` — through which every
+APSP/deviation query is routed.  ``None`` (the default) recomputes
+densely, exactly as before the incremental engine existed; passing an
+:class:`~repro.graphs.incremental.IncrementalBackend` reuses distance
+state across calls and memoises whole best responses per
+``(agent, canonical state)``.
+
 Tolerance: costs are sums of integers and multiples of ``alpha``; all
 strict comparisons use ``EPS = 1e-9``.
 """
@@ -27,6 +35,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..graphs import adjacency as adj
+from ..graphs.incremental import DistanceBackend
 from .best_response import DeviationEvaluator
 from .costs import (
     EQUAL_SPLIT,
@@ -148,16 +157,51 @@ class Game:
             ok &= self.host[u]
         return ok
 
-    def current_cost(self, net: Network, u: int) -> float:
+    def cache_token(self) -> tuple:
+        """Hashable identity of this game's *rules* (not its state).
+
+        Two games with equal tokens score every move identically, so
+        best-response caches may be shared across instances.
+        """
+        return (
+            type(self).__name__,
+            self.mode.value,
+            self.alpha,
+            getattr(self, "max_swaps", None),
+            # the enumeration cap changes observable behaviour (it gates
+            # the NP-hard-guard raise), so it is part of the rules too
+            getattr(self, "max_enumeration_agents", None),
+            self.host.tobytes() if self.host is not None else None,
+        )
+
+    def _evaluator(
+        self, net: Network, u: int, backend: Optional[DistanceBackend] = None
+    ) -> DeviationEvaluator:
+        """Deviation evaluator for ``u``, sourcing ``D(G - u)`` from the
+        backend when one is given."""
+        D = backend.deviation_distances(net, u) if backend is not None else None
+        return DeviationEvaluator(net, u, self.mode, D=D)
+
+    def current_cost(
+        self, net: Network, u: int, backend: Optional[DistanceBackend] = None
+    ) -> float:
         """``c_G(u)``: edge-cost plus SUM/MAX distance-cost."""
-        dist = adj.bfs_distances(net.A, u)
+        if backend is not None:
+            dist = backend.full_distances(net)[u]
+        else:
+            dist = adj.bfs_distances(net.A, u)
         if net.n == 1:
             return self.edge_rule(net, u, self.alpha)
         return self.edge_rule(net, u, self.alpha) + self.mode.aggregate(dist)
 
-    def cost_vector(self, net: Network) -> np.ndarray:
+    def cost_vector(
+        self, net: Network, backend: Optional[DistanceBackend] = None
+    ) -> np.ndarray:
         """All agents' costs in one APSP pass."""
-        D = adj.all_pairs_distances(net.A)
+        if backend is not None:
+            D = backend.full_distances(net)
+        else:
+            D = adj.all_pairs_distances(net.A)
         if self.mode is DistanceMode.SUM:
             delta = D.sum(axis=1)
         else:
@@ -165,18 +209,22 @@ class Game:
         edge = np.array([self.edge_rule(net, u, self.alpha) for u in range(net.n)])
         return edge + delta
 
-    def social_cost(self, net: Network) -> float:
+    def social_cost(self, net: Network, backend: Optional[DistanceBackend] = None) -> float:
         """Sum of all agents' costs."""
-        return float(self.cost_vector(net).sum())
+        return float(self.cost_vector(net, backend=backend).sum())
 
     # -- core API (subclasses implement _scored_moves) ---------------------
-    def _scored_moves(self, net: Network, u: int) -> Iterable[Tuple[Move, float]]:
+    def _scored_moves(
+        self, net: Network, u: int, backend: Optional[DistanceBackend] = None
+    ) -> Iterable[Tuple[Move, float]]:
         """Yield ``(move, new_cost_of_u)`` for every admissible move."""
         raise NotImplementedError
 
-    def candidate_moves(self, net: Network, u: int) -> List[Move]:
+    def candidate_moves(
+        self, net: Network, u: int, backend: Optional[DistanceBackend] = None
+    ) -> List[Move]:
         """All admissible strategy-changes of ``u`` (improving or not)."""
-        return [m for m, _ in self._scored_moves(net, u)]
+        return [m for m, _ in self._scored_moves(net, u, backend=backend)]
 
     def evaluate_move(self, net: Network, u: int, move: Move) -> float:
         """Cost of ``u`` after applying ``move`` (generic apply/undo path)."""
@@ -184,32 +232,51 @@ class Game:
         move.apply(work)
         return self.current_cost(work, u)
 
-    def improving_moves(self, net: Network, u: int) -> List[Tuple[Move, float]]:
+    def improving_moves(
+        self, net: Network, u: int, backend: Optional[DistanceBackend] = None
+    ) -> List[Tuple[Move, float]]:
         """Admissible moves that strictly decrease ``u``'s cost."""
-        cur = self.current_cost(net, u)
-        return [(m, c) for m, c in self._scored_moves(net, u) if c < cur - EPS]
+        cur = self.current_cost(net, u, backend=backend)
+        return [(m, c) for m, c in self._scored_moves(net, u, backend=backend) if c < cur - EPS]
 
-    def best_responses(self, net: Network, u: int) -> BestResponse:
+    def best_responses(
+        self, net: Network, u: int, backend: Optional[DistanceBackend] = None
+    ) -> BestResponse:
         """All cost-minimising admissible moves of ``u`` (see
         :class:`BestResponse`); empty move list when ``u`` is happy."""
-        cur = self.current_cost(net, u)
-        return _collect_best(u, cur, self._scored_moves(net, u))
+        if backend is not None:
+            cached = backend.cached_best_response(self, net, u)
+            if cached is not None:
+                return cached
+        cur = self.current_cost(net, u, backend=backend)
+        br = _collect_best(u, cur, self._scored_moves(net, u, backend=backend))
+        if backend is not None:
+            backend.store_best_response(self, net, u, br)
+        return br
 
-    def is_unhappy(self, net: Network, u: int) -> bool:
+    def is_unhappy(
+        self, net: Network, u: int, backend: Optional[DistanceBackend] = None
+    ) -> bool:
         """Whether ``u`` has at least one improving move."""
+        if backend is not None:
+            # the full best response gets memoised, so later calls for
+            # the same state (e.g. by the move policy) are free
+            return self.best_responses(net, u, backend=backend).is_improving
         cur = self.current_cost(net, u)
         for _, c in self._scored_moves(net, u):
             if c < cur - EPS:
                 return True
         return False
 
-    def unhappy_agents(self, net: Network) -> List[int]:
+    def unhappy_agents(
+        self, net: Network, backend: Optional[DistanceBackend] = None
+    ) -> List[int]:
         """The set ``U_i`` of Section 1.1."""
-        return [u for u in range(net.n) if self.is_unhappy(net, u)]
+        return [u for u in range(net.n) if self.is_unhappy(net, u, backend=backend)]
 
-    def is_stable(self, net: Network) -> bool:
+    def is_stable(self, net: Network, backend: Optional[DistanceBackend] = None) -> bool:
         """``True`` iff no agent has an improving move (pure NE)."""
-        return not self.unhappy_agents(net)
+        return not self.unhappy_agents(net, backend=backend)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(mode={self.mode.value}, alpha={self.alpha})"
@@ -254,8 +321,8 @@ class SwapGame(Game):
         """Neighbours ``u`` cannot detach from (none in the SG)."""
         return []
 
-    def _scored_moves(self, net: Network, u: int):
-        evaluator = DeviationEvaluator(net, u, self.mode)
+    def _scored_moves(self, net: Network, u: int, backend: Optional[DistanceBackend] = None):
+        evaluator = self._evaluator(net, u, backend)
         nbrs = net.neighbors(u)
         allowed = self._allowed_targets(net, u)
         allowed[nbrs] = False  # cannot swap onto an existing neighbour
@@ -335,8 +402,8 @@ class GreedyBuyGame(Game):
     def __init__(self, mode: DistanceMode | str, alpha: float, host: Optional[np.ndarray] = None):
         super().__init__(mode, alpha=alpha, host=host, edge_rule=OWNER_PAYS)
 
-    def _scored_moves(self, net: Network, u: int):
-        evaluator = DeviationEvaluator(net, u, self.mode)
+    def _scored_moves(self, net: Network, u: int, backend: Optional[DistanceBackend] = None):
+        evaluator = self._evaluator(net, u, backend)
         nbrs = net.neighbors(u)
         owned = net.owned_targets(u)
         k = owned.size
@@ -387,14 +454,14 @@ class BuyGame(Game):
         super().__init__(mode, alpha=alpha, host=host, edge_rule=OWNER_PAYS)
         self.max_enumeration_agents = max_enumeration_agents
 
-    def _scored_moves(self, net: Network, u: int):
+    def _scored_moves(self, net: Network, u: int, backend: Optional[DistanceBackend] = None):
         if net.n > self.max_enumeration_agents:
             raise ValueError(
                 f"BuyGame strategy enumeration limited to n <= "
                 f"{self.max_enumeration_agents} agents (best response is NP-hard); "
                 "use GreedyBuyGame for larger networks"
             )
-        evaluator = DeviationEvaluator(net, u, self.mode)
+        evaluator = self._evaluator(net, u, backend)
         incoming = set(net.incoming_neighbors(u).tolist())
         current = frozenset(net.owned_targets(u).tolist())
         allowed = self._allowed_targets(net, u)
@@ -478,16 +545,18 @@ class BilateralGame(Game):
                 if S != current:
                     yield S
 
-    def _scored_moves(self, net: Network, u: int):
+    def _scored_moves(self, net: Network, u: int, backend: Optional[DistanceBackend] = None):
         """Yield feasible moves with their cost.
 
         Cheap cost screening happens *before* the (expensive) consent
         check: only strategies at least as good as the current one get a
         feasibility test.  This keeps the enumeration usable at the
-        paper's instance sizes.
+        paper's instance sizes.  The consent check itself always prices
+        hypothetical networks densely — they are throwaway copies the
+        incremental engine should not chase.
         """
-        evaluator = DeviationEvaluator(net, u, self.mode)
-        cur = self.current_cost(net, u)
+        evaluator = self._evaluator(net, u, backend)
+        cur = self.current_cost(net, u, backend=backend)
         for S in self._strategy_space(net, u):
             dist = evaluator.distance_cost(sorted(S))
             cost = (self.alpha / 2.0) * len(S) + dist
@@ -498,7 +567,7 @@ class BilateralGame(Game):
                 yield move, cost
 
     def improving_moves_with_blockers(
-        self, net: Network, u: int
+        self, net: Network, u: int, backend: Optional[DistanceBackend] = None
     ) -> List[Tuple[StrategyChange, float, List[int]]]:
         """All cost-improving strategies with their blocking sets.
 
@@ -507,8 +576,8 @@ class BilateralGame(Game):
         about which agent blocks which strategy, and the tests verify
         those claims.
         """
-        evaluator = DeviationEvaluator(net, u, self.mode)
-        cur = self.current_cost(net, u)
+        evaluator = self._evaluator(net, u, backend)
+        cur = self.current_cost(net, u, backend=backend)
         out = []
         for S in self._strategy_space(net, u):
             dist = evaluator.distance_cost(sorted(S))

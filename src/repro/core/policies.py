@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..graphs.incremental import DistanceBackend
 from .games import BestResponse, Game
 from .network import Network
 
@@ -46,9 +47,19 @@ class MovePolicy:
     def reset(self) -> None:
         """Called by the dynamics engine at the start of a run."""
 
-    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+    def select(
+        self,
+        game: Game,
+        net: Network,
+        rng: np.random.Generator,
+        backend: Optional[DistanceBackend] = None,
+    ) -> Optional[BestResponse]:
         """Return the selected agent's best response, or ``None`` if the
-        network is stable (no agent is unhappy)."""
+        network is stable (no agent is unhappy).
+
+        ``backend`` routes all distance queries (see
+        :mod:`repro.graphs.incremental`); ``None`` recomputes densely.
+        """
         raise NotImplementedError
 
     def notify(self, agent: int) -> None:
@@ -63,16 +74,22 @@ class MaxCostPolicy(MovePolicy):
             raise ValueError("tie_break must be 'random' or 'index'")
         self.tie_break = tie_break
 
-    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+    def select(
+        self,
+        game: Game,
+        net: Network,
+        rng: np.random.Generator,
+        backend: Optional[DistanceBackend] = None,
+    ) -> Optional[BestResponse]:
         """Scan agents in descending cost order; first unhappy one moves."""
-        costs = game.cost_vector(net)
+        costs = game.cost_vector(net, backend=backend)
         order = np.argsort(-costs, kind="stable")
         if self.tie_break == "random":
             # shuffle within equal-cost groups: sort by (-cost, random key)
             keys = rng.random(net.n)
             order = sorted(range(net.n), key=lambda u: (-costs[u], keys[u]))
         for u in order:
-            br = game.best_responses(net, int(u))
+            br = game.best_responses(net, int(u), backend=backend)
             if br.is_improving:
                 return br
         return None
@@ -81,12 +98,18 @@ class MaxCostPolicy(MovePolicy):
 class RandomPolicy(MovePolicy):
     """Uniformly random unhappy agent (sampling without replacement)."""
 
-    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+    def select(
+        self,
+        game: Game,
+        net: Network,
+        rng: np.random.Generator,
+        backend: Optional[DistanceBackend] = None,
+    ) -> Optional[BestResponse]:
         """Sample agents uniformly without replacement until one is unhappy."""
         candidates = list(range(net.n))
         rng.shuffle(candidates)
         for u in candidates:
-            br = game.best_responses(net, u)
+            br = game.best_responses(net, u, backend=backend)
             if br.is_improving:
                 return br
         return None
@@ -95,10 +118,16 @@ class RandomPolicy(MovePolicy):
 class FirstUnhappyPolicy(MovePolicy):
     """Smallest-index unhappy agent (fully deterministic)."""
 
-    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+    def select(
+        self,
+        game: Game,
+        net: Network,
+        rng: np.random.Generator,
+        backend: Optional[DistanceBackend] = None,
+    ) -> Optional[BestResponse]:
         """Scan ids in order; the first unhappy agent moves."""
         for u in range(net.n):
-            br = game.best_responses(net, u)
+            br = game.best_responses(net, u, backend=backend)
             if br.is_improving:
                 return br
         return None
@@ -113,12 +142,18 @@ class RoundRobinPolicy(MovePolicy):
     def reset(self) -> None:
         self._next = 0
 
-    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+    def select(
+        self,
+        game: Game,
+        net: Network,
+        rng: np.random.Generator,
+        backend: Optional[DistanceBackend] = None,
+    ) -> Optional[BestResponse]:
         """Cyclic scan starting after the previous mover."""
         n = net.n
         for i in range(n):
             u = (self._next + i) % n
-            br = game.best_responses(net, u)
+            br = game.best_responses(net, u, backend=backend)
             if br.is_improving:
                 return br
         return None
@@ -144,12 +179,18 @@ class ScriptedPolicy(MovePolicy):
     def reset(self) -> None:
         self._pos = 0
 
-    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+    def select(
+        self,
+        game: Game,
+        net: Network,
+        rng: np.random.Generator,
+        backend: Optional[DistanceBackend] = None,
+    ) -> Optional[BestResponse]:
         """Next scheduled agent moves; raises if it is happy (strict)."""
         if self._pos >= len(self.schedule):
             return None
         u = self.schedule[self._pos]
-        br = game.best_responses(net, u)
+        br = game.best_responses(net, u, backend=backend)
         if not br.is_improving:
             if self.strict:
                 raise RuntimeError(

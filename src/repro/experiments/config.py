@@ -38,6 +38,12 @@ class ExperimentConfig:
     m_edges: Optional[str] = None  # "n" | "2n" | "4n"
     alpha: Optional[str] = None  # "n" | "n/2" | "n/4" | "n/10" or float-string
     label: str = ""
+    #: distance engine for the dynamics runs ("auto" | "incremental" |
+    #: "dense"); all produce identical trajectories — "dense" is the
+    #: slow recompute oracle.  repr=False keeps the field out of the
+    #: runner's repr-based seed digest: the backend must never change
+    #: which instances are drawn.
+    backend: str = field(default="auto", repr=False)
 
     def resolve_alpha(self, n: int) -> float:
         """Edge price for ``n`` agents (resolves "n/4"-style specs)."""

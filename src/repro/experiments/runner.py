@@ -84,7 +84,7 @@ def _one_trial(args) -> Tuple[int, bool]:
     policy = build_policy(cfg)
     result = run_dynamics(
         game, net, policy, max_steps=max_steps, rng=rng,
-        record_trajectory=False, copy_initial=False,
+        record_trajectory=False, copy_initial=False, backend=cfg.backend,
     )
     return result.steps, result.converged
 

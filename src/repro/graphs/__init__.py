@@ -1,8 +1,28 @@
-"""Graph substrate: dense adjacency kernel, properties and generators."""
+"""Graph substrate: dense adjacency kernel, incremental distance engine,
+properties and generators."""
 
-from . import adjacency, properties  # noqa: F401
+from . import adjacency, incremental, properties  # noqa: F401
+from .incremental import (  # noqa: F401
+    DenseBackend,
+    DeviationCache,
+    DistanceBackend,
+    IncrementalAPSP,
+    IncrementalBackend,
+    make_backend,
+)
 
-__all__ = ["adjacency", "properties", "generators"]
+__all__ = [
+    "adjacency",
+    "incremental",
+    "properties",
+    "generators",
+    "DistanceBackend",
+    "DenseBackend",
+    "IncrementalBackend",
+    "IncrementalAPSP",
+    "DeviationCache",
+    "make_backend",
+]
 
 
 def __getattr__(name):  # lazily import generators (needs core types? no, keep cheap)

@@ -35,6 +35,7 @@ __all__ = [
     "bfs_distances",
     "bfs_distances_multi",
     "all_pairs_distances",
+    "all_pairs_distances_fast",
     "distances_without_vertex",
     "connected_components",
     "is_connected",
@@ -159,12 +160,15 @@ def bfs_distances_multi(A: np.ndarray, sources: Sequence[int], mask: np.ndarray 
     """BFS distances from several sources at once.
 
     Returns a ``(len(sources), n)`` float matrix.  Implemented as layered
-    boolean expansion of all sources simultaneously, so the cost is the
-    same as a single APSP restricted to those rows.
+    expansion of all sources simultaneously; the layer product runs in
+    float32 so it hits BLAS (an order of magnitude faster than the
+    boolean matmul at the paper's sizes — path counts stay far below
+    float32's 2^24 integer range, so thresholding back to boolean is
+    exact).
     """
     n = A.shape[0]
     k = len(sources)
-    A = A.astype(bool, copy=False)
+    Af = A.astype(np.float32)
     dist = np.full((k, n), np.inf)
     visited = np.zeros((k, n), dtype=bool)
     if mask is not None:
@@ -177,12 +181,27 @@ def bfs_distances_multi(A: np.ndarray, sources: Sequence[int], mask: np.ndarray 
     while frontier.any():
         dist[frontier] = d
         visited |= frontier
-        # (k,n) @ (n,n) boolean product: rows expand one BFS layer
-        frontier = (frontier @ A) & ~visited
+        # (k,n) @ (n,n) BLAS product: rows expand one BFS layer
+        frontier = (frontier.astype(np.float32) @ Af > 0.0) & ~visited
         d += 1
     if mask is not None:
         dist[:, ~mask] = np.inf
     return dist
+
+
+def all_pairs_distances_fast(A: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+    """APSP via the BLAS-layered multi-source expansion.
+
+    Bit-for-bit identical results to :func:`all_pairs_distances`, but
+    the layer products run as float32 GEMMs instead of boolean matmuls
+    — roughly an order of magnitude faster at the paper's sizes.  The
+    incremental distance engine uses this as its rebuild primitive; the
+    classic boolean-matmul loop below stays the reference kernel.
+    """
+    n = A.shape[0]
+    if n == 0:
+        return np.zeros((0, 0))
+    return bfs_distances_multi(A, list(range(n)), mask=mask)
 
 
 def all_pairs_distances(A: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:

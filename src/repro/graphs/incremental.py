@@ -1,0 +1,465 @@
+"""Incremental all-pairs distances for the dynamics hot loop.
+
+Every step of the sequential process changes only edges incident to the
+moving agent, yet the dense engine re-derives all shortest-path state
+from scratch: one APSP for the cost vector, plus one APSP of ``G - u``
+per scanned agent.  This module keeps that state alive across steps.
+
+The core update (:func:`update_distances_after_vertex_change`) repairs a
+full distance matrix after an arbitrary change of one vertex ``v``'s
+incident edge set:
+
+* *Deletions* can only lengthen pairs whose every shortest path used a
+  deleted edge, i.e. pairs ``(x, y)`` with
+  ``D[x, y] == D[x, a] + 1 + D[b, y]`` for a removed edge ``{a, b}``.
+  Only the rows containing such pairs are re-expanded, by one
+  multi-source layered BFS on the new graph.
+* *Insertions* can only create shortcuts through ``v``; one fresh BFS
+  from ``v`` prices them all via ``min(D, d_v[x] + d_v[y])``.
+
+When the dirty row set exceeds ``dirty_threshold * n`` (e.g. a bridge
+deletion in a tree, which invalidates a constant fraction of all pairs)
+the repair is abandoned for the plain boolean-matmul APSP, so the
+incremental engine is never asymptotically worse than the dense one.
+
+On top of the kernel sit the :class:`DistanceBackend` implementations
+the game/dynamics layers are parameterised over:
+
+* :class:`DenseBackend` — recompute-from-scratch, the equivalence
+  oracle;
+* :class:`IncrementalBackend` — a maintained full-graph matrix, one
+  maintained ``D(G - u)`` matrix per evaluated agent (the
+  ``D(G - u)`` factorization of ``best_response.py`` means that matrix
+  prices *every* deviation of ``u``), and a :class:`DeviationCache`
+  memoising whole best-response computations by
+  ``(agent, canonical state)`` — revisited states (better-response
+  cycles!) and repeated scans of the same state cost one dict lookup.
+
+Memory: the incremental backend stores ``O(n^2)`` floats per evaluated
+agent (~14 MB at n = 120).  That is the right trade for the paper's
+instance sizes (n <= ~200); for much larger graphs cap the backend to
+``dense`` or clear it periodically via :meth:`IncrementalBackend.reset`.
+
+Everything here works on plain adjacency matrices plus a duck-typed
+network object exposing ``.A`` and ``.state_key()`` — this module must
+not import :mod:`repro.core` (the core imports the graphs layer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from . import adjacency as adj
+
+__all__ = [
+    "update_distances_after_vertex_change",
+    "IncrementalAPSP",
+    "DeviationCache",
+    "DistanceBackend",
+    "DenseBackend",
+    "IncrementalBackend",
+    "make_backend",
+    "DEFAULT_DIRTY_THRESHOLD",
+]
+
+#: above this fraction of dirty rows, repairing costs more than redoing.
+#: (the multi-source repair BFS runs on BLAS layers, so it stays cheap up
+#: to half the rows; a full boolean-matmul APSP is ~20x a repair.)
+DEFAULT_DIRTY_THRESHOLD = 0.5
+
+
+def update_distances_after_vertex_change(
+    D_old: np.ndarray,
+    A_new: np.ndarray,
+    v: int,
+    deleted: Iterable[Tuple[int, int]] = (),
+    mask: Optional[np.ndarray] = None,
+    dirty_threshold: float = DEFAULT_DIRTY_THRESHOLD,
+    stats: Optional[Dict[str, int]] = None,
+) -> np.ndarray:
+    """Repair an APSP matrix after vertex ``v``'s incident edges changed.
+
+    Parameters
+    ----------
+    D_old:
+        APSP matrix of the *old* graph (``inf`` for unreachable pairs;
+        rows/columns of masked-out vertices all ``inf``).
+    A_new:
+        adjacency matrix of the new graph.  It may differ from the old
+        one only in edges incident to ``v`` (``v`` alive under ``mask``).
+    deleted:
+        the removed edges, each incident to ``v``.  Insertions need not
+        be listed — they are priced by the BFS from ``v``.
+    mask:
+        optional boolean vector of alive vertices (the ``G - u``
+        matrices of the deviation engine exclude the deviator).
+    dirty_threshold:
+        fraction of rows above which a full APSP recompute is cheaper.
+    stats:
+        optional counter dict; taking the full-recompute fallback
+        increments ``stats["fallback_rebuilds"]``.
+
+    Returns
+    -------
+    A fresh APSP matrix of ``A_new`` (never aliases ``D_old``).
+    """
+    n = A_new.shape[0]
+    deleted = list(deleted)
+    sources = np.empty(0, dtype=np.int64)
+    if deleted:
+        finite = np.isfinite(D_old)
+        dirty = np.zeros((n, n), dtype=bool)
+        for a, b in deleted:
+            # pairs whose (some) shortest path crossed the removed edge,
+            # in either direction
+            dirty |= D_old == D_old[:, a, None] + 1.0 + D_old[None, b, :]
+            dirty |= D_old == D_old[:, b, None] + 1.0 + D_old[None, a, :]
+        dirty &= finite
+        dirty[v, :] = False  # row/col v are rebuilt exactly below
+        dirty[:, v] = False
+        sources = np.flatnonzero(dirty.any(axis=1))
+        if sources.size > dirty_threshold * n:
+            if stats is not None:
+                stats["fallback_rebuilds"] = stats.get("fallback_rebuilds", 0) + 1
+            return adj.all_pairs_distances_fast(A_new, mask=mask)
+    d_v = adj.bfs_distances(A_new, v, mask=mask)
+    D = D_old.copy()
+    if sources.size:
+        rows = adj.bfs_distances_multi(A_new, sources.tolist(), mask=mask)
+        D[sources, :] = rows
+        D[:, sources] = rows.T
+    D[v, :] = d_v
+    D[:, v] = d_v
+    # shortcuts through v (covers all inserted edges, which touch v)
+    np.minimum(D, d_v[:, None] + d_v[None, :], out=D)
+    if mask is not None:
+        D[~mask, :] = np.inf
+        D[:, ~mask] = np.inf
+        alive = np.flatnonzero(mask)
+        D[alive, alive] = 0.0
+    else:
+        np.fill_diagonal(D, 0.0)
+    return D
+
+
+class IncrementalAPSP:
+    """APSP of an evolving graph, maintained across single-vertex updates.
+
+    The engine is *diff-based*: :meth:`distances` compares the queried
+    adjacency against the snapshot of the previous query, so callers
+    never have to notify it of moves (and stale-notification bugs are
+    impossible).  When the diff is centred on one vertex the matrix is
+    repaired incrementally; any other diff (first query, resized graph,
+    multi-vertex change) falls back to a full rebuild.
+
+    A diff spanning several vertices — an agent re-evaluated only after
+    several other agents moved — is decomposed into single-vertex groups
+    and repaired sequentially, one group at a time, as long as the group
+    count stays below ``max_centers`` (default ``max(4, n // 8)``; a
+    repair is ~20x cheaper than a rebuild, so chasing a handful of moves
+    beats starting over).
+
+    ``exclude`` pins a vertex as removed — this maintains the
+    ``D(G - u)`` matrix of the deviation engine.  Changes incident only
+    to the excluded vertex are invisible in ``G - u`` and cost nothing.
+    """
+
+    def __init__(
+        self,
+        exclude: Optional[int] = None,
+        dirty_threshold: float = DEFAULT_DIRTY_THRESHOLD,
+        max_centers: Optional[int] = None,
+    ):
+        self.exclude = exclude
+        self.dirty_threshold = dirty_threshold
+        self.max_centers = max_centers
+        self._A: Optional[np.ndarray] = None
+        self._D: Optional[np.ndarray] = None
+        # instrumentation (read by tests and the kernel benchmark);
+        # fallback_rebuilds counts repairs that hit the dirty-threshold
+        # and degenerated into a full recompute mid-update
+        self.full_rebuilds = 0
+        self.incremental_updates = 0
+        self.noop_hits = 0
+        self._update_stats: Dict[str, int] = {"fallback_rebuilds": 0}
+
+    def _mask_for(self, n: int) -> Optional[np.ndarray]:
+        if self.exclude is None:
+            return None
+        mask = np.ones(n, dtype=bool)
+        mask[self.exclude] = False
+        return mask
+
+    def _rebuild(self, A: np.ndarray) -> np.ndarray:
+        self._D = adj.all_pairs_distances_fast(A, mask=self._mask_for(A.shape[0]))
+        self._A = A.copy()
+        self.full_rebuilds += 1
+        return self._D
+
+    def distances(self, A: np.ndarray) -> np.ndarray:
+        """Return the APSP matrix of ``A`` (minus ``exclude``), reusing
+        and repairing the previous result when possible.
+
+        The returned matrix is a snapshot — the engine never mutates it
+        in place afterwards — but callers must not write to it either.
+        """
+        A = np.asarray(A, dtype=bool)
+        if self._A is None or self._A.shape != A.shape:
+            return self._rebuild(A)
+        diff = A != self._A
+        if self.exclude is not None:
+            diff[self.exclude, :] = False
+            diff[:, self.exclude] = False
+        if not diff.any():
+            self.noop_hits += 1
+            self._A = A.copy()  # resync excluded-vertex edges
+            return self._D
+        groups = self._grouped_changes(diff)
+        n = A.shape[0]
+        limit = self.max_centers if self.max_centers is not None else max(4, n // 8)
+        if len(groups) > limit:
+            return self._rebuild(A)
+        mask = self._mask_for(n)
+        D = self._D
+        A_cur = self._A
+        for center, group in groups:
+            A_next = A_cur.copy()
+            deleted = []
+            for a, b in group:
+                if A_cur[a, b] and not A[a, b]:
+                    deleted.append((a, b))
+                A_next[a, b] = A_next[b, a] = A[a, b]
+            D = update_distances_after_vertex_change(
+                D, A_next, center, deleted=deleted, mask=mask,
+                dirty_threshold=self.dirty_threshold, stats=self._update_stats,
+            )
+            A_cur = A_next
+        self._D = D
+        self._A = A.copy()
+        self.incremental_updates += 1
+        return self._D
+
+    @staticmethod
+    def _grouped_changes(diff: np.ndarray):
+        """Decompose a symmetric edge diff into single-vertex groups.
+
+        Greedily picks the vertex covering the most remaining changed
+        edges; each group is that vertex plus its incident changes.  For
+        a run of k single-agent moves this yields <= k groups.
+        """
+        iu, iv = np.nonzero(np.triu(diff, 1))
+        remaining = list(zip(iu.tolist(), iv.tolist()))
+        groups = []
+        while remaining:
+            counts: Dict[int, int] = {}
+            for a, b in remaining:
+                counts[a] = counts.get(a, 0) + 1
+                counts[b] = counts.get(b, 0) + 1
+            center = max(counts, key=counts.get)
+            group = [e for e in remaining if center in e]
+            remaining = [e for e in remaining if center not in e]
+            groups.append((center, group))
+        return groups
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: rebuilds / repairs / no-op cache hits."""
+        return {
+            "full_rebuilds": self.full_rebuilds,
+            "incremental_updates": self.incremental_updates,
+            "fallback_rebuilds": self._update_stats["fallback_rebuilds"],
+            "noop_hits": self.noop_hits,
+        }
+
+
+class DeviationCache:
+    """Memoised best-response results keyed by ``(agent, state)``.
+
+    The canonical state key (:meth:`repro.core.network.Network.state_key`)
+    pins the *entire* ownership matrix, so a hit is only possible when
+    agent ``u`` faces the exact network it was last priced in — any move
+    incident to ``u``, and any move elsewhere that alters ``G - u``,
+    changes the key and forces a fresh evaluation.  That makes staleness
+    structurally impossible while still collapsing the two places the
+    dynamics re-asks identical questions: repeated scans of one state by
+    the move policy, and revisited states along better-response cycles.
+
+    A ``game_token`` component keeps one physical cache safe to share
+    between differently-parameterised games.
+    """
+
+    def __init__(self, max_entries: int = 200_000):
+        self.max_entries = max_entries
+        self._table: Dict[tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get(self, game_token: tuple, agent: int, state_key: bytes):
+        """Cached best response, or ``None`` on a miss."""
+        hit = self._table.get((game_token, agent, state_key))
+        if hit is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return hit
+
+    def put(self, game_token: tuple, agent: int, state_key: bytes, br) -> None:
+        """Store a freshly computed best response."""
+        if len(self._table) >= self.max_entries:
+            # wholesale eviction: entries are cheap to recompute and a
+            # run that overflows the cap has long stopped cycling
+            self._table.clear()
+            self.evictions += 1
+        self._table[(game_token, agent, state_key)] = br
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: hits / misses / size / evictions."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._table),
+            "evictions": self.evictions,
+        }
+
+
+class DistanceBackend(Protocol):
+    """The distance/deviation queries the game layer is generic over."""
+
+    name: str
+
+    def full_distances(self, net) -> np.ndarray:
+        """APSP matrix of the current network."""
+
+    def deviation_distances(self, net, u: int) -> np.ndarray:
+        """APSP matrix of ``G - u`` (prices every deviation of ``u``)."""
+
+    def cached_best_response(self, game, net, u: int):
+        """Memoised best response for ``(game, net, u)``, or ``None``."""
+
+    def store_best_response(self, game, net, u: int, br) -> None:
+        """Record a freshly computed best response."""
+
+    def reset(self) -> None:
+        """Drop all cached state."""
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Instrumentation counters (empty for stateless backends)."""
+
+
+class DenseBackend:
+    """Recompute-from-scratch backend — the equivalence oracle.
+
+    Every query runs a full boolean-matmul APSP, exactly like the code
+    before the incremental engine existed.  Stateless, so sharing one
+    instance across runs is always safe.
+    """
+
+    name = "dense"
+
+    def full_distances(self, net) -> np.ndarray:
+        return adj.all_pairs_distances(net.A)
+
+    def deviation_distances(self, net, u: int) -> np.ndarray:
+        return adj.distances_without_vertex(net.A, u)
+
+    def cached_best_response(self, game, net, u: int):
+        return None
+
+    def store_best_response(self, game, net, u: int, br) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {}
+
+
+class IncrementalBackend:
+    """Maintained distance state + deviation cache for one dynamics run.
+
+    One :class:`IncrementalAPSP` tracks the full graph (the cost
+    vector), one per evaluated agent tracks ``D(G - u)``, and a
+    :class:`DeviationCache` short-circuits whole best-response
+    computations on revisited states.  An instance is cheap to create;
+    give each run its own (sharing is *correct* — everything is keyed or
+    diffed against exact state — but mixes instrumentation counters).
+    """
+
+    name = "incremental"
+
+    def __init__(
+        self,
+        dirty_threshold: float = DEFAULT_DIRTY_THRESHOLD,
+        cache_best_responses: bool = True,
+        max_cache_entries: int = 200_000,
+    ):
+        self.dirty_threshold = dirty_threshold
+        self.cache_best_responses = cache_best_responses
+        self._full = IncrementalAPSP(dirty_threshold=dirty_threshold)
+        self._per_agent: Dict[int, IncrementalAPSP] = {}
+        self.cache = DeviationCache(max_entries=max_cache_entries)
+
+    def full_distances(self, net) -> np.ndarray:
+        return self._full.distances(net.A)
+
+    def deviation_distances(self, net, u: int) -> np.ndarray:
+        engine = self._per_agent.get(u)
+        if engine is None:
+            engine = self._per_agent[u] = IncrementalAPSP(
+                exclude=int(u), dirty_threshold=self.dirty_threshold
+            )
+        return engine.distances(net.A)
+
+    def cached_best_response(self, game, net, u: int):
+        if not self.cache_best_responses:
+            return None
+        return self.cache.get(game.cache_token(), int(u), net.state_key())
+
+    def store_best_response(self, game, net, u: int, br) -> None:
+        if self.cache_best_responses:
+            self.cache.put(game.cache_token(), int(u), net.state_key(), br)
+
+    def reset(self) -> None:
+        self._full = IncrementalAPSP(dirty_threshold=self.dirty_threshold)
+        self._per_agent.clear()
+        self.cache.clear()
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        agg = {
+            "full_rebuilds": 0,
+            "incremental_updates": 0,
+            "fallback_rebuilds": 0,
+            "noop_hits": 0,
+        }
+        for engine in self._per_agent.values():
+            for key, value in engine.stats().items():
+                agg[key] += value
+        return {
+            "full_graph": self._full.stats(),
+            "deviation": agg,
+            "cache": self.cache.stats(),
+        }
+
+
+def make_backend(spec) -> DistanceBackend:
+    """Resolve a backend spec: ``"dense"``, ``"incremental"``, ``None``
+    (= dense) or an already-built backend instance (returned as-is)."""
+    if spec is None or spec == "dense":
+        return DenseBackend()
+    if spec == "incremental":
+        return IncrementalBackend()
+    if hasattr(spec, "full_distances") and hasattr(spec, "deviation_distances"):
+        return spec
+    raise ValueError(
+        f"unknown distance backend {spec!r}: expected 'dense', 'incremental' "
+        "or a DistanceBackend instance"
+    )

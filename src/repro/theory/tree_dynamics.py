@@ -95,6 +95,7 @@ def run_tree_dynamics(
     max_steps: int = 200_000,
     seed: Optional[int] = None,
     check_potential: bool = True,
+    backend: str = "auto",
 ) -> TreeRunReport:
     """Run dynamics on a tree while recording diameters and checking the
     potential-decrease property step by step.
@@ -102,8 +103,11 @@ def run_tree_dynamics(
     Works for any game but the potential semantics follow the game's
     distance mode (Lemma 2.6 for MAX, social cost for SUM).
     """
+    from ..core.dynamics import resolve_backend
+
     rng = np.random.default_rng(seed)
     net = initial.copy()
+    backend_obj, select = resolve_backend(policy, net, backend)
     policy.reset()
     diameters = [adj.diameter(net.A)]
     trajectory = []
@@ -112,7 +116,7 @@ def run_tree_dynamics(
     step = 0
     status = "exhausted"
     while step < max_steps:
-        br = policy.select(game, net, rng)
+        br = select(game, net, rng, backend=backend_obj)
         if br is None:
             status = "converged"
             break
@@ -129,7 +133,7 @@ def run_tree_dynamics(
         if check_potential and not potential_decreases(before, net, mode):
             violations.append(step)
         step += 1
-    result = RunResult(status, step, net, trajectory)
+    result = RunResult(status, step, net, trajectory, backend_stats=backend_obj.stats())
     return TreeRunReport(
         result=result,
         diameters=diameters,
@@ -149,12 +153,18 @@ class Theorem211Policy(MovePolicy):
     move.
     """
 
-    def select(self, game: Game, net: Network, rng: np.random.Generator) -> Optional[BestResponse]:
+    def select(
+        self,
+        game: Game,
+        net: Network,
+        rng: np.random.Generator,
+        backend=None,
+    ) -> Optional[BestResponse]:
         """Smallest-index maximum-cost unhappy agent; smallest-index best swap."""
-        costs = game.cost_vector(net)
+        costs = game.cost_vector(net, backend=backend)
         order = sorted(range(net.n), key=lambda u: (-costs[u], u))
         for u in order:
-            br = game.best_responses(net, u)
+            br = game.best_responses(net, u, backend=backend)
             if br.is_improving:
                 best = min(br.moves, key=lambda m: (m.new, m.old) if isinstance(m, Swap) else (net.n, 0))
                 return BestResponse(u, br.cost_before, br.best_cost, [best])

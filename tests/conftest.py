@@ -1,45 +1,18 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain (non-fixture) helpers live in :mod:`tests.helpers`; import them
+with ``from tests.helpers import ...`` — a conftest module cannot be
+relatively imported by test modules.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.core.network import Network
+from tests.helpers import network_from_adjacency, random_connected_adjacency  # noqa: F401
 
 
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
-
-
-def random_connected_adjacency(n: int, extra_edges: int, rng: np.random.Generator) -> np.ndarray:
-    """Random connected graph: random tree plus ``extra_edges`` chords."""
-    A = np.zeros((n, n), dtype=bool)
-    order = rng.permutation(n)
-    for i in range(1, n):
-        u = order[i]
-        v = order[rng.integers(i)]
-        A[u, v] = A[v, u] = True
-    added = 0
-    attempts = 0
-    while added < extra_edges and attempts < 50 * (extra_edges + 1):
-        u, v = rng.integers(n), rng.integers(n)
-        attempts += 1
-        if u != v and not A[u, v]:
-            A[u, v] = A[v, u] = True
-            added += 1
-    return A
-
-
-def network_from_adjacency(A: np.ndarray, rng: np.random.Generator) -> Network:
-    """Wrap an adjacency matrix with random per-edge ownership."""
-    n = A.shape[0]
-    O = np.zeros_like(A)
-    iu, iv = np.nonzero(np.triu(A, 1))
-    for u, v in zip(iu.tolist(), iv.tolist()):
-        if rng.integers(2):
-            O[u, v] = True
-        else:
-            O[v, u] = True
-    return Network(A.copy(), O)

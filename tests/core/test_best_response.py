@@ -13,7 +13,7 @@ from repro.core.costs import DistanceMode
 from repro.core.network import Network
 from repro.graphs import adjacency as adj
 
-from ..conftest import network_from_adjacency, random_connected_adjacency
+from tests.helpers import network_from_adjacency, random_connected_adjacency
 
 
 def brute_force_distance_cost(net, u, new_neighbors, mode):

@@ -10,7 +10,7 @@ from repro.core.moves import StrategyChange
 from repro.core.network import Network
 from repro.graphs.generators import path_network, star_network
 
-from ..conftest import network_from_adjacency, random_connected_adjacency
+from tests.helpers import network_from_adjacency, random_connected_adjacency
 
 
 class TestFeasibility:

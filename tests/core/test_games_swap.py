@@ -12,7 +12,7 @@ from repro.core.moves import Swap
 from repro.core.network import Network
 from repro.graphs.generators import cycle_network, path_network, star_network
 
-from ..conftest import network_from_adjacency, random_connected_adjacency
+from tests.helpers import network_from_adjacency, random_connected_adjacency
 
 
 def brute_force_swaps(game, net, u):

@@ -19,7 +19,7 @@ from repro.core.games import EPS, BuyGame, GreedyBuyGame
 from repro.core.network import Network
 from repro.graphs.generators import random_tree_network, star_network
 
-from ..conftest import network_from_adjacency, random_connected_adjacency
+from tests.helpers import network_from_adjacency, random_connected_adjacency
 
 
 @pytest.mark.parametrize("alpha", [0.6, 1.5, 3.0])

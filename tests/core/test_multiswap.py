@@ -18,7 +18,7 @@ from repro.core.games import EPS, AsymmetricSwapGame, SwapGame
 from repro.core.moves import StrategyChange, Swap
 from repro.graphs.generators import path_network, star_network
 
-from ..conftest import network_from_adjacency, random_connected_adjacency
+from tests.helpers import network_from_adjacency, random_connected_adjacency
 
 
 class TestSemantics:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.graphs import adjacency as adj
 
-from ..conftest import random_connected_adjacency
+from tests.helpers import random_connected_adjacency
 
 
 def nx_from(A):

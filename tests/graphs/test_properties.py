@@ -8,7 +8,7 @@ import pytest
 from repro.graphs import adjacency as adj
 from repro.graphs import properties as props
 
-from ..conftest import random_connected_adjacency
+from tests.helpers import random_connected_adjacency
 
 
 def random_tree(n, rng):

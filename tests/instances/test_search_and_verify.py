@@ -100,7 +100,7 @@ class TestVerifier:
 
 class TestIsomorphism:
     def test_isomorphic_relabelling(self, rng):
-        from ..conftest import random_connected_adjacency
+        from tests.helpers import random_connected_adjacency
 
         A = random_connected_adjacency(9, 5, rng)
         perm = rng.permutation(9)

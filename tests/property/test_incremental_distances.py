@@ -1,0 +1,244 @@
+"""Property-based equivalence of the incremental distance engine.
+
+After arbitrary random move sequences on random connected networks, the
+incremental backend's distance matrices and agent costs must *exactly*
+match a fresh dense recompute — SUM and MAX modes, including
+disconnecting deletions (``inf`` entries).  The dense path is the
+oracle; any deviation is a bug in the repair logic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import DistanceMode
+from repro.core.dynamics import run_dynamics
+from repro.core.games import AsymmetricSwapGame, GreedyBuyGame
+from repro.core.network import Network
+from repro.core.policies import FirstUnhappyPolicy, MaxCostPolicy
+from repro.graphs import adjacency as adj
+from repro.graphs.incremental import (
+    DenseBackend,
+    IncrementalAPSP,
+    IncrementalBackend,
+    update_distances_after_vertex_change,
+)
+from tests.helpers import network_from_adjacency, random_connected_adjacency
+
+
+# ---------------------------------------------------------------------------
+# random graph + mutation-sequence strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def graph_and_mutations(draw, min_n=3, max_n=12, n_steps=8):
+    """A random connected graph plus a sequence of single-vertex edge-set
+    mutations (each step toggles 1..3 edges incident to one vertex —
+    exactly the footprint of a game move, including disconnecting
+    deletions)."""
+    n = draw(st.integers(min_n, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    A = random_connected_adjacency(n, int(rng.integers(0, n)), rng)
+    steps = []
+    for _ in range(draw(st.integers(1, n_steps))):
+        v = draw(st.integers(0, n - 1))
+        k = draw(st.integers(1, 3))
+        targets = draw(
+            st.lists(
+                st.integers(0, n - 1).filter(lambda w, v=v: w != v),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        steps.append((v, targets))
+    return A, steps
+
+
+def apply_mutation(A, v, targets):
+    for w in targets:
+        A[v, w] = A[w, v] = not A[v, w]
+
+
+# ---------------------------------------------------------------------------
+# kernel-level equivalence
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_and_mutations())
+def test_full_graph_engine_matches_dense_apsp(case):
+    A, steps = case
+    engine = IncrementalAPSP()
+    assert np.array_equal(engine.distances(A), adj.all_pairs_distances(A))
+    for v, targets in steps:
+        apply_mutation(A, v, targets)
+        D = engine.distances(A)
+        assert np.array_equal(D, adj.all_pairs_distances(A))
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_and_mutations(), st.data())
+def test_excluded_vertex_engine_matches_dense_apsp(case, data):
+    A, steps = case
+    n = A.shape[0]
+    u = data.draw(st.integers(0, n - 1), label="excluded agent")
+    engine = IncrementalAPSP(exclude=u)
+    assert np.array_equal(engine.distances(A), adj.distances_without_vertex(A, u))
+    for v, targets in steps:
+        apply_mutation(A, v, targets)
+        D = engine.distances(A)
+        assert np.array_equal(D, adj.distances_without_vertex(A, u))
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_and_mutations())
+def test_engine_queried_only_at_end_matches(case):
+    """Skipped intermediate queries force one multi-center repair."""
+    A, steps = case
+    engine = IncrementalAPSP()
+    engine.distances(A)
+    for v, targets in steps:
+        apply_mutation(A, v, targets)
+    assert np.array_equal(engine.distances(A), adj.all_pairs_distances(A))
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_and_mutations(), st.data())
+def test_pure_update_function_matches(case, data):
+    """One single-vertex change, repaired by the pure kernel function."""
+    A, steps = case
+    v, targets = steps[0]
+    D_old = adj.all_pairs_distances(A)
+    A_new = A.copy()
+    apply_mutation(A_new, v, targets)
+    deleted = [(v, w) for w in targets if A[v, w]]
+    threshold = data.draw(st.sampled_from([0.0, 0.25, 1.1]), label="dirty threshold")
+    D = update_distances_after_vertex_change(
+        D_old, A_new, v, deleted=deleted, dirty_threshold=threshold
+    )
+    assert np.array_equal(D, adj.all_pairs_distances(A_new))
+
+
+def test_disconnecting_deletion_yields_inf():
+    """Removing a bridge must produce exact inf blocks, not stale values."""
+    # path 0-1-2-3: deleting {1,2} splits it
+    A = adj.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    engine = IncrementalAPSP()
+    engine.distances(A)
+    A[1, 2] = A[2, 1] = False
+    D = engine.distances(A)
+    expected = adj.all_pairs_distances(A)
+    assert np.array_equal(D, expected)
+    assert np.isinf(D[0, 3]) and np.isinf(D[1, 2])
+    # and reconnecting repairs the inf entries again
+    A[0, 3] = A[3, 0] = True
+    D = engine.distances(A)
+    assert np.array_equal(D, adj.all_pairs_distances(A))
+    assert np.isfinite(D).all()
+
+
+def test_bridge_deletion_counts_as_fallback_rebuild():
+    """A mid-path bridge deletion dirties most rows: the repair must
+    degrade to a full recompute and say so in the counters."""
+    n = 12
+    A = adj.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+    engine = IncrementalAPSP()
+    engine.distances(A)
+    A[5, 6] = A[6, 5] = False
+    D = engine.distances(A)
+    assert np.array_equal(D, adj.all_pairs_distances(A))
+    assert engine.stats()["fallback_rebuilds"] == 1
+    assert engine.stats()["incremental_updates"] == 1
+
+
+# ---------------------------------------------------------------------------
+# game-level equivalence: costs and whole trajectories
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_and_mutations(min_n=3, max_n=10), st.sampled_from(["sum", "max"]))
+def test_agent_costs_match_dense_after_random_moves(case, mode):
+    A, steps = case
+    rng = np.random.default_rng(0)
+    net = network_from_adjacency(A, rng)
+    game = AsymmetricSwapGame(mode)
+    backend = IncrementalBackend()
+    dense = DenseBackend()
+    for v, targets in steps:
+        apply_mutation(net.A, v, targets)
+        # rebuild ownership for toggled edges (mutations bypass Move.apply)
+        net.owner &= net.A
+        missing = net.A & ~(net.owner | net.owner.T)
+        net.owner |= np.triu(missing)
+        got = game.cost_vector(net, backend=backend)
+        want = game.cost_vector(net, backend=dense)
+        assert np.array_equal(got, want)
+        for u in range(net.n):
+            assert game.current_cost(net, u, backend=backend) == game.current_cost(net, u)
+
+
+@pytest.mark.parametrize("mode", ["sum", "max"])
+@pytest.mark.parametrize("game_kind", ["asg", "gbg"])
+def test_dynamics_trajectories_identical_across_backends(mode, game_kind):
+    """Whole runs — moves, costs, status — must be bit-identical."""
+    rng = np.random.default_rng(99)
+    for trial in range(4):
+        n = int(rng.integers(6, 16))
+        A = random_connected_adjacency(n, int(rng.integers(0, n)), rng)
+        net = network_from_adjacency(A, rng)
+        if game_kind == "asg":
+            game = AsymmetricSwapGame(mode)
+        else:
+            game = GreedyBuyGame(mode, alpha=float(rng.integers(1, 8)))
+        seed = int(rng.integers(1 << 30))
+        runs = {
+            name: run_dynamics(
+                game, net, MaxCostPolicy(), seed=seed, max_steps=60 * n, backend=name
+            )
+            for name in ("dense", "incremental")
+        }
+        rd, ri = runs["dense"], runs["incremental"]
+        assert rd.status == ri.status
+        assert rd.steps == ri.steps
+        assert [(r.agent, r.move, r.cost_before, r.cost_after) for r in rd.trajectory] == [
+            (r.agent, r.move, r.cost_before, r.cost_after) for r in ri.trajectory
+        ]
+        assert rd.final.state_key() == ri.final.state_key()
+
+
+def test_trajectories_identical_above_auto_threshold():
+    """Equivalence at a size the 'auto' mode actually runs incrementally
+    (n >= AUTO_BACKEND_MIN_N) — the tiny hypothesis grids above all sit
+    below it, and this must be covered by the tier-1 suite, not only by
+    the explicitly-invoked benchmark file."""
+    from repro.core.dynamics import AUTO_BACKEND_MIN_N
+    from repro.graphs.generators import random_budget_network
+
+    n = 2 * AUTO_BACKEND_MIN_N
+    net = random_budget_network(n, 3, seed=13)
+    game = AsymmetricSwapGame("sum")
+    rd = run_dynamics(game, net, MaxCostPolicy(), seed=13, max_steps=2 * n, backend="dense")
+    ri = run_dynamics(game, net, MaxCostPolicy(), seed=13, max_steps=2 * n, backend="incremental")
+    assert [(r.agent, r.move, r.cost_before, r.cost_after) for r in rd.trajectory] == [
+        (r.agent, r.move, r.cost_before, r.cost_after) for r in ri.trajectory
+    ]
+    assert rd.final.state_key() == ri.final.state_key()
+    assert ri.backend_stats["deviation"]["incremental_updates"] > 0
+
+
+def test_deterministic_policy_trajectories_identical():
+    rng = np.random.default_rng(5)
+    A = random_connected_adjacency(12, 6, rng)
+    net = network_from_adjacency(A, rng)
+    game = GreedyBuyGame("sum", alpha=3.0)
+    rd = run_dynamics(game, net, FirstUnhappyPolicy(), seed=1, backend="dense")
+    ri = run_dynamics(game, net, FirstUnhappyPolicy(), seed=1, backend="incremental")
+    assert [(r.agent, r.move) for r in rd.trajectory] == [
+        (r.agent, r.move) for r in ri.trajectory
+    ]
+    assert rd.final.state_key() == ri.final.state_key()
