@@ -34,7 +34,8 @@ def main() -> None:
     ap.add_argument("figures", nargs="*", default=[], help="subset of figures to run")
     ap.add_argument("--trials", type=int, default=None)
     ap.add_argument("--n", type=str, default=None, help="comma-separated n values")
-    ap.add_argument("--jobs", type=int, default=1, help="worker processes")
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: all cores for big cells)")
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--full", action="store_true", help="paper-scale grid")
     args = ap.parse_args()

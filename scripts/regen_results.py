@@ -5,13 +5,38 @@ Run ``pytest benchmarks/ --benchmark-only`` first (it drops one JSON file
 per figure into ``benchmarks/_results/``), then::
 
     python scripts/regen_results.py > docs/measured_results.md
+
+or do both in one go with ``--run``, which executes the benchmark suite
+itself before emitting the appendix.  Sweeps inside the suite use every
+core by default (``repro.experiments.runner.resolve_n_jobs``); pass
+``--jobs 1`` to force serial runs, or any explicit worker count.
 """
 
+import argparse
 import json
+import os
 import pathlib
+import subprocess
 import sys
 
-RESULTS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "_results"
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "_results"
+
+
+def run_benchmarks(jobs: int | None) -> int:
+    """Execute the benchmark suite so it refreshes ``_results/``.
+
+    ``jobs=None`` keeps the runner's use-the-machine default; an
+    explicit value is exported as ``REPRO_N_JOBS`` for every sweep.
+    """
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    if jobs is not None:
+        env["REPRO_N_JOBS"] = str(jobs)
+    cmd = [sys.executable, "-m", "pytest", str(ROOT / "benchmarks"), "-q", "--benchmark-only"]
+    print(f"running: {' '.join(cmd)}", file=sys.stderr)
+    return subprocess.run(cmd, env=env, cwd=ROOT).returncode
 
 
 def emit_figure(data: dict) -> None:
@@ -37,9 +62,19 @@ def emit_figure(data: dict) -> None:
 
 
 def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--run", action="store_true",
+                    help="run the benchmark suite first to refresh _results/")
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="worker processes for sweeps (default: all cores)")
+    args = ap.parse_args()
+    if args.run:
+        rc = run_benchmarks(args.jobs)
+        if rc != 0:
+            return rc
     if not RESULTS.exists():
-        print("no benchmark results found; run pytest benchmarks/ --benchmark-only",
-              file=sys.stderr)
+        print("no benchmark results found; run pytest benchmarks/ --benchmark-only "
+              "(or pass --run)", file=sys.stderr)
         return 1
     print("# Measured results (regenerated from benchmarks/_results)")
     for path in sorted(RESULTS.glob("fig*.json")):

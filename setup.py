@@ -11,7 +11,9 @@ setup(
     python_requires=">=3.9",
     package_dir={"": "src"},
     packages=find_packages("src"),
-    install_requires=["numpy>=1.22"],
+    # np.bitwise_count and bitorder-aware packbits in the bit-packed
+    # kernel need numpy 2.x
+    install_requires=["numpy>=2.0"],
     extras_require={
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
     },

@@ -172,7 +172,8 @@ def main(argv=None) -> int:
     p.add_argument("figure")
     p.add_argument("--trials", type=int, default=None)
     p.add_argument("--n", type=str, default=None)
-    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: all cores for big cells)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--full", action="store_true")
     p.set_defaults(func=cmd_experiment)

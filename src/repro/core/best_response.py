@@ -70,7 +70,7 @@ class DeviationEvaluator:
     # -- scalar evaluation -------------------------------------------------
     def distance_vector(self, neighbor_ids: Sequence[int] | np.ndarray) -> np.ndarray:
         """Distance vector of ``u`` if its neighbour set were ``neighbor_ids``."""
-        ids = np.asarray(list(neighbor_ids), dtype=np.int64)
+        ids = np.asarray(neighbor_ids, dtype=np.int64)
         row = np.full(self.n, np.inf)
         if ids.size:
             row = 1.0 + self.D[ids].min(axis=0)
@@ -88,7 +88,7 @@ class DeviationEvaluator:
     def base_vector(self, kept_ids: Sequence[int] | np.ndarray) -> np.ndarray:
         """``min_{w in kept} (1 + D[w])`` — the part of the strategy that
         stays fixed while one endpoint varies.  All-``inf`` when empty."""
-        ids = np.asarray(list(kept_ids), dtype=np.int64)
+        ids = np.asarray(kept_ids, dtype=np.int64)
         if ids.size == 0:
             return np.full(self.n, np.inf)
         return 1.0 + self.D[ids].min(axis=0)
@@ -104,10 +104,14 @@ class DeviationEvaluator:
         the varying new endpoints.  Returns a float vector aligned with
         ``candidates``.
         """
-        cand = np.asarray(list(candidates), dtype=np.int64)
+        cand = np.asarray(candidates, dtype=np.int64)
         if cand.size == 0:
             return np.empty(0)
-        M = np.minimum(base[None, :], 1.0 + self.D[cand])
+        # the fancy-index gather is already a fresh buffer; finish the
+        # candidate rows in place instead of allocating a second matrix
+        M = self.D[cand]
+        M += 1.0
+        np.minimum(M, base[None, :], out=M)
         M[:, self.u] = 0.0
         if self.mode is DistanceMode.SUM:
             return M.sum(axis=1)

@@ -59,30 +59,55 @@ class DistanceMode(str, Enum):
 
 
 class EdgeCostRule:
-    """How the edge price alpha is charged to an agent."""
+    """How the edge price alpha is charged to an agent.
 
-    def __init__(self, fn: Callable[[Network, int, float], float], name: str):
+    ``vector_fn`` is the whole-population form (one array instead of
+    ``n`` scalar calls); it must agree with ``fn`` entry for entry and
+    defaults to the scalar loop for custom rules that only define one.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Network, int, float], float],
+        name: str,
+        vector_fn: Callable[[Network, float], np.ndarray] | None = None,
+    ):
         self._fn = fn
+        self._vector_fn = vector_fn
         self.name = name
 
     def __call__(self, net: Network, u: int, alpha: float) -> float:
         return self._fn(net, u, alpha)
+
+    def vector(self, net: Network, alpha: float) -> np.ndarray:
+        """Edge-cost of every agent as one float array."""
+        if self._vector_fn is not None:
+            return self._vector_fn(net, alpha)
+        return np.array([self._fn(net, u, alpha) for u in range(net.n)])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EdgeCostRule({self.name})"
 
 
 #: swap games: no edge-cost term at all.
-SWAP_EDGE_COST = EdgeCostRule(lambda net, u, alpha: 0.0, "none")
+SWAP_EDGE_COST = EdgeCostRule(
+    lambda net, u, alpha: 0.0,
+    "none",
+    vector_fn=lambda net, alpha: np.zeros(net.n),
+)
 
 #: the unilateral buy games: owner pays alpha per owned edge.
 OWNER_PAYS = EdgeCostRule(
-    lambda net, u, alpha: alpha * net.edges_owned_count(u), "owner-pays"
+    lambda net, u, alpha: alpha * net.edges_owned_count(u),
+    "owner-pays",
+    vector_fn=lambda net, alpha: alpha * net.budget_vector().astype(np.float64),
 )
 
 #: bilateral equal-split: both endpoints pay alpha/2 per incident edge.
 EQUAL_SPLIT = EdgeCostRule(
-    lambda net, u, alpha: (alpha / 2.0) * net.degree(u), "equal-split"
+    lambda net, u, alpha: (alpha / 2.0) * net.degree(u),
+    "equal-split",
+    vector_fn=lambda net, alpha: (alpha / 2.0) * net.A.sum(axis=1).astype(np.float64),
 )
 
 
@@ -119,8 +144,7 @@ def cost_vector(
 ) -> np.ndarray:
     """Vector of all agents' costs."""
     delta = distance_costs(net, mode)
-    edge = np.array([edge_rule(net, u, alpha) for u in range(net.n)])
-    return edge + delta
+    return edge_rule.vector(net, alpha) + delta
 
 
 def social_cost(

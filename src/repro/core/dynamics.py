@@ -186,7 +186,7 @@ def run_dynamics(
     backend:
         distance engine: ``"incremental"`` maintains APSP and
         ``D(G - u)`` state across steps and memoises best responses per
-        ``(agent, state)``; ``"dense"`` recomputes everything from
+        agent under the dirty-agent digest key; ``"dense"`` recomputes everything from
         scratch each query (the equivalence oracle — both produce
         bit-identical trajectories); ``"auto"`` (default) picks
         incremental from ``AUTO_BACKEND_MIN_N`` agents upwards; or a

@@ -19,8 +19,10 @@ All distance-dependent methods accept an optional ``backend`` — a
 APSP/deviation query is routed.  ``None`` (the default) recomputes
 densely, exactly as before the incremental engine existed; passing an
 :class:`~repro.graphs.incremental.IncrementalBackend` reuses distance
-state across calls and memoises whole best responses per
-``(agent, canonical state)``.
+state across calls and memoises whole best responses per agent, keyed
+by the dirty-agent digest of ``(D(G - u), u's incident ownership)`` for
+games that declare ``local_best_response`` (see that attribute on
+:class:`Game`), and by the full canonical state otherwise.
 
 Tolerance: costs are sums of integers and multiples of ``alpha``; all
 strict comparisons use ``EPS = 1e-9``.
@@ -30,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -127,11 +129,59 @@ def _move_sort_key(move: Move):
     return (tuple(sorted(move.new_targets)), -2)
 
 
+def _collect_best_batches(
+    agent: int,
+    cost_before: float,
+    batches: Iterable[Tuple[np.ndarray, "Callable"]],
+) -> BestResponse:
+    """Batched, semantics-identical variant of :func:`_collect_best`.
+
+    ``batches`` yields ``(costs, make_move)`` pairs: a float cost array
+    and a factory building the :class:`Move` object for one index.  Only
+    indices with ``cost <= best + EPS`` can interact with the sequential
+    scan (the running best never increases), so the inner Python loop
+    runs over those alone — and a Move is constructed only when it
+    actually resets or ties the running best; the replayed rules are
+    exactly :func:`_collect_best`'s, so the result is identical to
+    scoring the concatenated stream one move at a time.
+    """
+    best = np.inf
+    pending: List[Tuple["Callable", int, float]] = []  # factories, built at the end
+    for costs, make_move in batches:
+        if costs.size == 0:
+            continue
+        idx = np.flatnonzero(costs <= best + EPS)
+        if idx.size == 0:
+            continue
+        for pos, cost in zip(idx.tolist(), costs[idx].tolist()):
+            if cost < best - EPS:
+                best = cost
+                pending = [(make_move, pos, cost)]
+            elif cost <= best + EPS:
+                pending.append((make_move, pos, cost))
+    if not pending or best >= cost_before - EPS:
+        return BestResponse(agent, cost_before, cost_before, [])
+    collected = [(make(pos), cost) for make, pos, cost in pending]
+    ordered = sorted(collected, key=lambda mc: (_op_rank(mc[0]), _move_sort_key(mc[0])))
+    return BestResponse(agent, cost_before, best, [m for m, _ in ordered])
+
+
 class Game:
     """Common behaviour of all game types."""
 
     #: human-readable name, set by subclasses
     name: str = "game"
+
+    #: whether an agent's best response is a pure function of
+    #: ``(rules, D(G - u), u's incident ownership rows)``.  True for the
+    #: unilateral games (a shortest path from ``u`` never revisits
+    #: ``u``, so ``D(G - u)`` prices every deviation, and the move set
+    #: is determined by ``u``'s own edge rows) — this is what lets the
+    #: incremental backend key its deviation cache on a per-agent digest
+    #: instead of the full network state.  Games whose moves need other
+    #: agents' consent (bilateral) must leave this False; the base class
+    #: defaults to False so unknown subclasses are handled conservatively.
+    local_best_response: bool = False
 
     def __init__(
         self,
@@ -206,8 +256,7 @@ class Game:
             delta = D.sum(axis=1)
         else:
             delta = D.max(axis=1) if net.n > 1 else np.zeros(net.n)
-        edge = np.array([self.edge_rule(net, u, self.alpha) for u in range(net.n)])
-        return edge + delta
+        return self.edge_rule.vector(net, self.alpha) + delta
 
     def social_cost(self, net: Network, backend: Optional[DistanceBackend] = None) -> float:
         """Sum of all agents' costs."""
@@ -219,6 +268,13 @@ class Game:
     ) -> Iterable[Tuple[Move, float]]:
         """Yield ``(move, new_cost_of_u)`` for every admissible move."""
         raise NotImplementedError
+
+    #: optional batched scorer (same moves/costs as ``_scored_moves``, as
+    #: ``(cost_array, make_moves)`` pairs) — lets ``best_responses`` skip
+    #: per-move Python object construction for everything that cannot
+    #: beat the running best.  Subclasses with vectorised enumerations
+    #: override this with a generator method.
+    _scored_batches = None
 
     def candidate_moves(
         self, net: Network, u: int, backend: Optional[DistanceBackend] = None
@@ -249,7 +305,10 @@ class Game:
             if cached is not None:
                 return cached
         cur = self.current_cost(net, u, backend=backend)
-        br = _collect_best(u, cur, self._scored_moves(net, u, backend=backend))
+        if self._scored_batches is not None:
+            br = _collect_best_batches(u, cur, self._scored_batches(net, u, backend))
+        else:
+            br = _collect_best(u, cur, self._scored_moves(net, u, backend=backend))
         if backend is not None:
             backend.store_best_response(self, net, u, br)
         return br
@@ -301,6 +360,7 @@ class SwapGame(Game):
     """
 
     name = "SG"
+    local_best_response = True
 
     def __init__(
         self,
@@ -339,6 +399,29 @@ class SwapGame(Game):
                 yield Swap(u, int(v), w), c
         if self.max_swaps > 1:
             yield from self._multi_swap_moves(net, u, evaluator, candidates)
+
+    def _scored_batches(self, net: Network, u: int, backend: Optional[DistanceBackend] = None):
+        """Batched form of :meth:`_scored_moves` — same moves, same costs,
+        same order, but scored as one cost array per swapped edge."""
+        evaluator = self._evaluator(net, u, backend)
+        nbrs = net.neighbors(u)
+        allowed = self._allowed_targets(net, u)
+        allowed[nbrs] = False
+        candidates = np.flatnonzero(allowed)
+        if candidates.size == 0:
+            return
+        cand_list = candidates.tolist()
+        nbr_set = set(nbrs.tolist())
+        for v in self._swap_sources(net, u):
+            v = int(v)
+            kept = sorted(nbr_set - {v})
+            costs = evaluator.batch_costs(evaluator.base_vector(kept), candidates)
+            yield costs, lambda i, v=v: Swap(u, v, cand_list[i])
+        if self.max_swaps > 1:
+            multi = list(self._multi_swap_moves(net, u, evaluator, candidates))
+            if multi:
+                moves = [m for m, _ in multi]
+                yield np.array([c for _, c in multi]), moves.__getitem__
 
     def _multi_swap_moves(self, net: Network, u: int, evaluator, candidates):
         """Strategy changes replacing 2..max_swaps movable edges at once.
@@ -398,6 +481,7 @@ class GreedyBuyGame(Game):
     """
 
     name = "GBG"
+    local_best_response = True
 
     def __init__(self, mode: DistanceMode | str, alpha: float, host: Optional[np.ndarray] = None):
         super().__init__(mode, alpha=alpha, host=host, edge_rule=OWNER_PAYS)
@@ -431,6 +515,36 @@ class GreedyBuyGame(Game):
                 for w, c in zip(candidates.tolist(), swap_costs.tolist()):
                     yield Swap(u, v, w), swap_edge + c
 
+    def _scored_batches(self, net: Network, u: int, backend: Optional[DistanceBackend] = None):
+        """Batched form of :meth:`_scored_moves` — same moves, same costs,
+        same order: one buy batch, then per owned edge one delete and one
+        swap batch."""
+        evaluator = self._evaluator(net, u, backend)
+        nbrs = net.neighbors(u)
+        owned = net.owned_targets(u)
+        k = owned.size
+        nbr_set = set(nbrs.tolist())
+        allowed = self._allowed_targets(net, u)
+        allowed[nbrs] = False
+        candidates = np.flatnonzero(allowed)
+        cand_list = candidates.tolist()
+
+        if candidates.size:
+            buy_costs = evaluator.batch_costs(evaluator.base_vector(nbrs), candidates)
+            buy_edge = self.alpha * (k + 1)
+            yield buy_edge + buy_costs, lambda i: Buy(u, cand_list[i])
+
+        for v in owned.tolist():
+            kept = sorted(nbr_set - {v})
+            base = evaluator.base_vector(kept)
+            yield (
+                np.array([self.alpha * (k - 1) + evaluator.cost_of_base(base)]),
+                lambda i, v=v: Delete(u, v),
+            )
+            if candidates.size:
+                swap_costs = evaluator.batch_costs(base, candidates)
+                yield self.alpha * k + swap_costs, lambda i, v=v: Swap(u, v, cand_list[i])
+
 
 class BuyGame(Game):
     """The original NCG of Fabrikant et al. (PODC'03).
@@ -443,6 +557,7 @@ class BuyGame(Game):
     """
 
     name = "BG"
+    local_best_response = True
 
     def __init__(
         self,
@@ -496,6 +611,9 @@ class BilateralGame(Game):
     """
 
     name = "BBG"
+    # consent checks price OTHER agents' costs on hypothetical networks,
+    # so a best response here is NOT a function of (D(G-u), u's rows)
+    local_best_response = False
 
     def __init__(
         self,

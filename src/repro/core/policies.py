@@ -19,6 +19,13 @@ Implemented policies:
 * :class:`RoundRobinPolicy` — cyclic scan starting after the last mover.
 * :class:`ScriptedPolicy` — plays a fixed agent sequence (adversarial
   schedules for the counterexample instances).
+
+Every policy asks ``game.best_responses(net, u, backend=...)`` per
+scanned agent.  With an incremental backend those calls are memoised by
+the per-agent dirty-agent digest (see
+:mod:`repro.graphs.incremental`), so a scan re-prices only the agents
+whose ``D(G - u)`` or own edges actually changed since they were last
+evaluated — unaffected agents cost one dict lookup each.
 """
 
 from __future__ import annotations

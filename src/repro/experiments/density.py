@@ -52,7 +52,7 @@ def density_sweep(
     policy: str = "maxcost",
     trials: int = 20,
     seed: int = 0,
-    n_jobs: int = 1,
+    n_jobs: int | None = None,
 ) -> List[DensityPoint]:
     """Convergence time of the budget-``k`` ASG across edge densities.
 

@@ -32,7 +32,37 @@ from ..graphs.generators import (
 )
 from .config import ExperimentConfig, FigureSpec
 
-__all__ = ["build_game", "build_policy", "build_initial", "run_cell", "run_figure", "FigureResult"]
+__all__ = [
+    "build_game",
+    "build_policy",
+    "build_initial",
+    "resolve_n_jobs",
+    "run_cell",
+    "run_figure",
+    "FigureResult",
+]
+
+#: below this many trials a process pool costs more to spin up than the
+#: cell takes to run serially, so the ``n_jobs=None`` default stays at 1.
+POOL_MIN_TRIALS = 16
+
+
+def resolve_n_jobs(n_jobs: Optional[int], trials: int) -> int:
+    """Worker count for a cell: ``None`` means "use the machine".
+
+    ``None`` resolves to ``os.cpu_count()`` (capped at ``trials``) for
+    cells big enough to amortise pool startup, and to 1 for small ones.
+    An explicit integer — including 1 — is always honoured, so serial
+    runs remain one flag away.  The ``REPRO_N_JOBS`` environment
+    variable overrides the default for whole pipelines.
+    """
+    if n_jobs is None and os.environ.get("REPRO_N_JOBS"):
+        n_jobs = int(os.environ["REPRO_N_JOBS"])
+    if n_jobs is not None:
+        return max(1, int(n_jobs))
+    if trials < POOL_MIN_TRIALS:
+        return 1
+    return max(1, min(os.cpu_count() or 1, trials))
 
 
 def build_game(cfg: ExperimentConfig, n: int) -> Game:
@@ -95,15 +125,20 @@ def run_cell(
     trials: int,
     seed: int = 0,
     max_steps_factor: int = 50,
-    n_jobs: int = 1,
+    n_jobs: Optional[int] = None,
 ) -> ConvergenceStats:
     """Run ``trials`` random instances of one (config, n) cell.
 
     ``max_steps_factor * n`` caps each run; the paper's empirical claim
     is < 8n steps, so the cap only triggers on genuinely divergent runs
     (none were ever observed, matching the paper).
+
+    ``n_jobs=None`` (default) parallelises big cells over all cores —
+    see :func:`resolve_n_jobs`; trial seeds are scheduling-independent,
+    so the statistics are identical at every worker count.
     """
     max_steps = max_steps_factor * n
+    n_jobs = resolve_n_jobs(n_jobs, trials)
     root = np.random.SeedSequence(entropy=(seed, _config_digest(cfg), n))
     children = root.spawn(trials)
     jobs = [
@@ -156,11 +191,15 @@ class FigureResult:
 def run_figure(
     spec: FigureSpec,
     seed: int = 0,
-    n_jobs: int = 1,
+    n_jobs: Optional[int] = None,
     trials: Optional[int] = None,
     n_values: Optional[Sequence[int]] = None,
 ) -> FigureResult:
-    """Run a whole figure grid and return all its series."""
+    """Run a whole figure grid and return all its series.
+
+    ``n_jobs=None`` (default) uses every core for cells large enough to
+    amortise the pool (see :func:`resolve_n_jobs`); pass ``n_jobs=1``
+    for strictly serial sweeps."""
     result = FigureResult(spec)
     use_trials = trials if trials is not None else spec.trials
     use_ns = tuple(n_values) if n_values is not None else spec.n_values

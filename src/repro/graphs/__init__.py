@@ -1,7 +1,7 @@
-"""Graph substrate: dense adjacency kernel, incremental distance engine,
-properties and generators."""
+"""Graph substrate: dense adjacency kernel, bit-packed word-parallel
+kernel, incremental distance engine, properties and generators."""
 
-from . import adjacency, incremental, properties  # noqa: F401
+from . import adjacency, bitkernel, incremental, properties  # noqa: F401
 from .incremental import (  # noqa: F401
     DenseBackend,
     DeviationCache,
@@ -13,6 +13,7 @@ from .incremental import (  # noqa: F401
 
 __all__ = [
     "adjacency",
+    "bitkernel",
     "incremental",
     "properties",
     "generators",

@@ -8,6 +8,14 @@ representation available in pure Python: a full all-pairs-shortest-path
 (APSP) computation costs ``diameter`` many ``n x n`` boolean matmuls and
 no Python-level per-edge loop ever runs.
 
+From ``bitkernel.MIN_N`` vertices upwards, the batched primitives
+(:func:`all_pairs_distances_fast`, :func:`bfs_distances_multi`,
+:func:`is_connected_without_vertex`) route to the word-parallel
+:mod:`.bitkernel` engine — packed ``uint64`` bitsets, 64 vertices (or
+searches) per word-op, bit-identical results.  The classic
+boolean-matmul :func:`all_pairs_distances` is never routed: it stays
+the reference oracle every other kernel is tested against.
+
 Conventions
 -----------
 * Graphs are undirected and simple.  ``A`` is a symmetric ``(n, n)``
@@ -25,6 +33,8 @@ from collections import deque
 from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
+
+from . import bitkernel
 
 __all__ = [
     "validate_adjacency",
@@ -164,10 +174,14 @@ def bfs_distances_multi(A: np.ndarray, sources: Sequence[int], mask: np.ndarray 
     float32 so it hits BLAS (an order of magnitude faster than the
     boolean matmul at the paper's sizes — path counts stay far below
     float32's 2^24 integer range, so thresholding back to boolean is
-    exact).
+    exact).  Large batches on large graphs route to the word-parallel
+    :mod:`.bitkernel` engine instead — bit-identical results, no dense
+    layer product at all.
     """
     n = A.shape[0]
     k = len(sources)
+    if bitkernel.enabled_multi(n, k):
+        return bitkernel.bfs_distances_multi(A, sources, mask=mask)
     Af = A.astype(np.float32)
     dist = np.full((k, n), np.inf)
     visited = np.zeros((k, n), dtype=bool)
@@ -190,17 +204,22 @@ def bfs_distances_multi(A: np.ndarray, sources: Sequence[int], mask: np.ndarray 
 
 
 def all_pairs_distances_fast(A: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
-    """APSP via the BLAS-layered multi-source expansion.
+    """APSP via the fastest available layered expansion.
 
-    Bit-for-bit identical results to :func:`all_pairs_distances`, but
-    the layer products run as float32 GEMMs instead of boolean matmuls
-    — roughly an order of magnitude faster at the paper's sizes.  The
-    incremental distance engine uses this as its rebuild primitive; the
-    classic boolean-matmul loop below stays the reference kernel.
+    Bit-for-bit identical results to :func:`all_pairs_distances`.  From
+    ``bitkernel.MIN_N`` vertices upwards the word-parallel
+    :mod:`.bitkernel` engine runs the whole APSP as packed bitset ops
+    (64 searches per word-op); below that the layer products run as
+    float32 GEMMs — either way roughly an order of magnitude faster
+    than the boolean matmul at the paper's sizes.  The incremental
+    distance engine uses this as its rebuild primitive; the classic
+    boolean-matmul loop below stays the reference kernel.
     """
     n = A.shape[0]
     if n == 0:
         return np.zeros((0, 0))
+    if bitkernel.enabled_for(n):
+        return bitkernel.all_pairs_distances(A, mask=mask)
     return bfs_distances_multi(A, list(range(n)), mask=mask)
 
 
@@ -275,10 +294,16 @@ def is_connected(A: np.ndarray) -> bool:
 
 
 def is_connected_without_vertex(A: np.ndarray, u: int) -> bool:
-    """``True`` iff ``A - u`` is connected."""
+    """``True`` iff ``A - u`` is connected.
+
+    Large graphs route to the packed-bitset reachability check in
+    :mod:`.bitkernel` (no distance bookkeeping at all).
+    """
     n = A.shape[0]
     if n <= 2:
         return True
+    if bitkernel.enabled_for(n):
+        return bitkernel.is_connected_without_vertex(A, u)
     mask = np.ones(n, dtype=bool)
     mask[u] = False
     start = 0 if u != 0 else 1

@@ -1,0 +1,274 @@
+"""Bit-packed (word-parallel) distance kernel.
+
+BFS state is packed into ``uint64`` words so that one bitwise AND/OR
+advances 64 breadth-first searches (or 64 vertices) at once, replacing
+the byte-per-vertex boolean matmuls / float32 GEMMs of
+:mod:`.adjacency`.
+
+Two packings are used:
+
+* **Single-source** (:func:`bfs_distances`): adjacency rows are packed
+  into ``(n, ceil(n/64))`` uint64 words; one frontier expansion is an
+  OR-reduction of the packed rows of the frontier vertices.
+* **Multi-source** (:func:`bfs_distances_multi`,
+  :func:`all_pairs_distances`): the ``k`` simultaneous BFS frontiers are
+  packed *across sources* — ``F[v]`` holds bit ``s`` iff vertex ``v`` is
+  in source ``s``'s frontier.  One layer for all ``k`` searches is::
+
+      next[v] = OR_{u in N(v)} F[u]      (then & ~visited [& alive])
+
+  implemented as one gather of ``F`` along a precomputed flat neighbour
+  list plus a single segmented ``bitwise_or.reduceat`` — two C calls per
+  layer, no per-layer ``nonzero``/``unpackbits`` of the frontier, and no
+  dense matrix product.  Distances fall out of the counting identity
+  ``dist[v, s] = #{layers d : v not yet visited by s after layer d}``,
+  accumulated with one ``unpackbits`` + add per layer.
+
+Total APSP work is ``O(diam * m * n / 64)`` word-ops for ``m`` edges —
+on the paper's sparse dynamics graphs this overtakes the float32-GEMM
+layering (``O(diam * n^3)`` flops) from roughly ``n >= MIN_N`` and is an
+order of magnitude ahead by n ≈ 500.
+
+Everything here returns *bit-identical* results to the dense kernels —
+all are exact unit-weight BFS — so the routing in :mod:`.adjacency` is a
+pure performance decision.  The classic boolean-matmul
+:func:`adjacency.all_pairs_distances` stays the reference oracle and is
+never routed here.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "MIN_N",
+    "enabled_for",
+    "enabled_multi",
+    "forced",
+    "pack_rows",
+    "unpack_rows",
+    "bfs_distances",
+    "bfs_distances_multi",
+    "all_pairs_distances",
+    "is_connected_without_vertex",
+]
+
+#: below this many vertices the packing/CSR overhead outweighs the
+#: word-parallel win over the BLAS-layered kernel (measured in
+#: ``benchmarks/bench_kernel.py``).
+MIN_N = 96
+
+#: tri-state test/benchmark override: ``None`` = size heuristic,
+#: ``True``/``False`` = force on/off.
+_FORCE: Optional[bool] = None
+
+#: the uint64 view of the packed uint8 buffer assumes little-endian words.
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def enabled_for(n: int) -> bool:
+    """Whether :mod:`.adjacency` should route a size-``n`` query here."""
+    if _FORCE is not None:
+        return _FORCE
+    return _LITTLE_ENDIAN and n >= MIN_N
+
+
+def enabled_multi(n: int, k: int) -> bool:
+    """Routing heuristic for a ``k``-source BFS on ``n`` vertices.
+
+    The word-parallel cost is nearly flat in ``k`` (the CSR gather per
+    layer is the fixed cost) while the GEMM layering scales linearly, so
+    the crossover sits near ``k ≈ 6144 / n`` sources, never below 16
+    (measured in ``benchmarks/bench_kernel.py`` on the paper's sparse
+    dynamics graphs).
+    """
+    if _FORCE is not None:
+        return _FORCE
+    return _LITTLE_ENDIAN and n >= MIN_N and k >= max(16, 6144 // n)
+
+
+@contextmanager
+def forced(value: Optional[bool]):
+    """Force the kernel on/off inside a ``with`` block (tests, benchmarks)."""
+    global _FORCE
+    prev = _FORCE
+    _FORCE = value
+    try:
+        yield
+    finally:
+        _FORCE = prev
+
+
+def pack_rows(B: np.ndarray) -> np.ndarray:
+    """Pack a ``(k, n)`` boolean matrix into ``(k, ceil(n/64))`` uint64 rows.
+
+    Bit ``v`` of ``out[i, v // 64]`` (little-endian bit order) is
+    ``B[i, v]``; trailing pad bits are zero.
+    """
+    B = np.ascontiguousarray(B, dtype=bool)
+    k, n = B.shape
+    nbytes = ((n + 63) // 64) * 8
+    packed = np.packbits(B, axis=1, bitorder="little")
+    if packed.shape[1] != nbytes:
+        packed = np.concatenate(
+            [packed, np.zeros((k, nbytes - packed.shape[1]), dtype=np.uint8)], axis=1
+        )
+    return packed.view(np.uint64)
+
+
+def unpack_rows(P: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_rows`: ``(k, W)`` uint64 → ``(k, n)`` bool."""
+    bits = np.unpackbits(P.view(np.uint8), axis=1, count=n, bitorder="little")
+    return bits.view(np.bool_)
+
+
+def bfs_distances(A: np.ndarray, source: int, mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Single-source BFS distances, packed-row frontier expansion.
+
+    Semantics identical to :func:`adjacency.bfs_distances`: ``float64``
+    vector, ``inf`` for unreachable or masked-out vertices.
+    """
+    n = A.shape[0]
+    dist = np.full(n, np.inf)
+    if mask is not None and not mask[source]:
+        return dist
+    P = pack_rows(A)
+    not_visited = ~np.zeros(P.shape[1], dtype=np.uint64)
+    if mask is not None:
+        not_visited &= pack_rows(mask.reshape(1, -1))[0]
+    frontier = np.zeros(P.shape[1], dtype=np.uint64)
+    frontier[source >> 6] = np.uint64(1) << np.uint64(source & 63)
+    d = 0
+    while True:
+        idx = np.flatnonzero(unpack_rows(frontier.reshape(1, -1), n)[0])
+        if idx.size == 0:
+            return dist
+        dist[idx] = d
+        not_visited &= ~frontier
+        frontier = np.bitwise_or.reduce(P[idx], axis=0) & not_visited
+        d += 1
+
+
+def _flat_neighbors(A: np.ndarray):
+    """CSR-style flat neighbour list of a symmetric adjacency matrix.
+
+    Returns ``(flat, offsets, empty)``: ``flat[offsets[u]:offsets[u+1]]``
+    are the neighbours of ``u`` (``offsets`` has the sentinel index
+    ``flat.size`` appended for trailing zero-degree rows) and ``empty``
+    indexes the zero-degree vertices whose reduceat rows are garbage.
+    """
+    rows, cols = np.nonzero(A)
+    counts = np.bincount(rows, minlength=A.shape[0])
+    offsets = np.zeros(A.shape[0], dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    return cols, offsets, np.flatnonzero(counts == 0)
+
+
+def bfs_distances_multi(
+    A: np.ndarray, sources: Sequence[int], mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """BFS distances from several sources at once (``(k, n)`` float).
+
+    Word-parallel across the *source* dimension: 64 searches advance per
+    word-op, one gather + one segmented OR per layer.  Results are
+    bit-identical to :func:`adjacency.bfs_distances_multi`.
+    """
+    n = A.shape[0]
+    src = np.asarray(sources, dtype=np.int64)
+    k = src.size
+    if n == 0 or k == 0:
+        return np.full((k, n), np.inf)
+    KW = (k + 63) // 64
+    flat, offsets, empty = _flat_neighbors(np.asarray(A, dtype=bool))
+
+    # F[v] holds bit s iff vertex v is in source s's current frontier.
+    F = np.zeros((n, KW), dtype=np.uint64)
+    bits = np.arange(k, dtype=np.uint64)
+    alive_src = np.ones(k, dtype=bool) if mask is None else np.asarray(mask, dtype=bool)[src]
+    rows = src[alive_src]
+    words = (bits[alive_src] >> np.uint64(6)).astype(np.int64)
+    vals = np.uint64(1) << (bits[alive_src] & np.uint64(63))
+    # strictly increasing rows (the APSP/repair callers pass sorted
+    # sources) are trivially distinct; otherwise check properly
+    distinct = (
+        bool((np.diff(rows) > 0).all()) if rows.size > 1 else True
+    ) or np.unique(rows).size == rows.size
+    if distinct:
+        F[rows, words] = vals  # distinct source vertices: plain scatter
+    else:
+        np.bitwise_or.at(F, (rows, words), vals)  # duplicate sources
+    dead = None if mask is None else np.flatnonzero(~np.asarray(mask, dtype=bool))
+    visited = F.copy()
+
+    # depth[v, s] counts the layers before s's search visits v; for the
+    # seeds it stays 0, for never-reached pairs it is overwritten by inf.
+    depth = np.zeros((n, k), dtype=np.uint16 if n < 0xFFFF else np.uint32)
+    gathered = np.empty((flat.size + 1, KW), dtype=np.uint64)
+    gathered[-1] = 0
+    while True:
+        # complementing the packed words first makes the unpack itself
+        # produce the not-yet-visited indicator (pad bits are dropped)
+        depth += unpack_rows(~visited, k)
+        np.take(F, flat, axis=0, out=gathered[:-1])
+        # the zero sentinel row keeps trailing empty-segment indices in
+        # bounds; mid-array empty segments (offsets[u] == offsets[u+1])
+        # come back as the next vertex's first row and are zeroed below.
+        nxt = np.bitwise_or.reduceat(gathered, offsets, axis=0)
+        if empty.size:
+            nxt[empty] = 0
+        nxt &= ~visited
+        if dead is not None and dead.size:
+            nxt[dead] = 0
+        if not nxt.any():
+            break
+        F = nxt
+        visited |= nxt
+
+    # one fused pass: float64 depth where reached, inf elsewhere
+    return np.where(unpack_rows(visited, k).T, depth.T, np.inf)
+
+
+def all_pairs_distances(A: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """APSP via the word-parallel multi-source expansion.
+
+    Bit-identical to :func:`adjacency.all_pairs_distances` /
+    ``all_pairs_distances_fast``.
+    """
+    n = A.shape[0]
+    if n == 0:
+        return np.zeros((0, 0))
+    return bfs_distances_multi(A, np.arange(n), mask=mask)
+
+
+def is_connected_without_vertex(A: np.ndarray, u: int) -> bool:
+    """``True`` iff ``A - u`` is connected — packed reachability only.
+
+    No distance bookkeeping at all: the frontier and visited sets are
+    word bitsets, the expansion is an OR-reduction of packed adjacency
+    rows, and the verdict is one ``bitwise_count`` at the end.
+    """
+    n = A.shape[0]
+    if n <= 2:
+        return True
+    P = pack_rows(A)
+    W = P.shape[1]
+    # not_visited starts as "all alive vertices": pad bits and u cleared
+    not_visited = ~np.zeros(W, dtype=np.uint64)
+    if n & 63:
+        not_visited[-1] = (np.uint64(1) << np.uint64(n & 63)) - np.uint64(1)
+    not_visited[u >> 6] &= ~(np.uint64(1) << np.uint64(u & 63))
+    start = 0 if u != 0 else 1
+    frontier = np.zeros(W, dtype=np.uint64)
+    frontier[start >> 6] = np.uint64(1) << np.uint64(start & 63)
+    not_visited &= ~frontier
+    while True:
+        idx = np.flatnonzero(unpack_rows(frontier.reshape(1, -1), n)[0])
+        if idx.size == 0:
+            break
+        frontier = np.bitwise_or.reduce(P[idx], axis=0) & not_visited
+        not_visited &= ~frontier
+    return not int(np.bitwise_count(not_visited).sum())

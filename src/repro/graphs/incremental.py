@@ -31,9 +31,17 @@ the game/dynamics layers are parameterised over:
   maintained ``D(G - u)`` matrix per evaluated agent (the
   ``D(G - u)`` factorization of ``best_response.py`` means that matrix
   prices *every* deviation of ``u``), and a :class:`DeviationCache`
-  memoising whole best-response computations by
-  ``(agent, canonical state)`` — revisited states (better-response
-  cycles!) and repeated scans of the same state cost one dict lookup.
+  memoising whole best-response computations.  For local games the
+  cache key is the *dirty-agent digest* — the content digest of
+  ``(D(G - u), u's incident ownership rows)`` — so a lookup hits
+  whenever the agent's own world is unchanged, however different the
+  rest of the network looks: revisited states (better-response
+  cycles!), repeated scans, and remote changes invisible to the agent
+  all cost one dict lookup.
+
+The BFS/APSP primitives underneath route to the word-parallel
+:mod:`.bitkernel` from ``bitkernel.MIN_N`` vertices upwards (see
+:mod:`.adjacency`); everything stays bit-identical either way.
 
 Memory: the incremental backend stores ``O(n^2)`` floats per evaluated
 agent (~14 MB at n = 120).  That is the right trade for the paper's
@@ -47,6 +55,7 @@ not import :mod:`repro.core` (the core imports the graphs layer).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
@@ -110,16 +119,17 @@ def update_distances_after_vertex_change(
     sources = np.empty(0, dtype=np.int64)
     if deleted:
         finite = np.isfinite(D_old)
-        dirty = np.zeros((n, n), dtype=bool)
+        dirty_rows = np.zeros(n, dtype=bool)
         for a, b in deleted:
-            # pairs whose (some) shortest path crossed the removed edge,
-            # in either direction
-            dirty |= D_old == D_old[:, a, None] + 1.0 + D_old[None, b, :]
-            dirty |= D_old == D_old[:, b, None] + 1.0 + D_old[None, a, :]
-        dirty &= finite
-        dirty[v, :] = False  # row/col v are rebuilt exactly below
-        dirty[:, v] = False
-        sources = np.flatnonzero(dirty.any(axis=1))
+            # pairs whose (some) shortest path crossed the removed edge;
+            # the mirrored orientation is the transpose of this one
+            # (D_old is symmetric), so one comparison covers both
+            hit = (D_old == D_old[:, a, None] + 1.0 + D_old[None, b, :]) & finite
+            hit[v, :] = False  # row/col v are rebuilt exactly below
+            hit[:, v] = False
+            dirty_rows |= hit.any(axis=1)
+            dirty_rows |= hit.any(axis=0)
+        sources = np.flatnonzero(dirty_rows)
         if sources.size > dirty_threshold * n:
             if stats is not None:
                 stats["fallback_rebuilds"] = stats.get("fallback_rebuilds", 0) + 1
@@ -157,9 +167,9 @@ class IncrementalAPSP:
     A diff spanning several vertices — an agent re-evaluated only after
     several other agents moved — is decomposed into single-vertex groups
     and repaired sequentially, one group at a time, as long as the group
-    count stays below ``max_centers`` (default ``max(4, n // 8)``; a
-    repair is ~20x cheaper than a rebuild, so chasing a handful of moves
-    beats starting over).
+    count stays below ``max_centers`` (default 4: with the bit-packed
+    APSP a full rebuild costs only a couple of single-center repairs, so
+    chasing a long move backlog loses to starting over).
 
     ``exclude`` pins a vertex as removed — this maintains the
     ``D(G - u)`` matrix of the deviation engine.  Changes incident only
@@ -176,13 +186,18 @@ class IncrementalAPSP:
         self.dirty_threshold = dirty_threshold
         self.max_centers = max_centers
         self._A: Optional[np.ndarray] = None
+        self._A_bytes: Optional[bytes] = None  # memcmp fast path for no-op diffs
         self._D: Optional[np.ndarray] = None
+        #: lazily computed content digest of ``_D`` (``None`` = stale)
+        self._digest: Optional[bytes] = None
         # instrumentation (read by tests and the kernel benchmark);
         # fallback_rebuilds counts repairs that hit the dirty-threshold
         # and degenerated into a full recompute mid-update
         self.full_rebuilds = 0
         self.incremental_updates = 0
         self.noop_hits = 0
+        self.clean_repairs = 0
+        self.digest_recomputes = 0
         self._update_stats: Dict[str, int] = {"fallback_rebuilds": 0}
 
     def _mask_for(self, n: int) -> Optional[np.ndarray]:
@@ -195,6 +210,8 @@ class IncrementalAPSP:
     def _rebuild(self, A: np.ndarray) -> np.ndarray:
         self._D = adj.all_pairs_distances_fast(A, mask=self._mask_for(A.shape[0]))
         self._A = A.copy()
+        self._A_bytes = self._A.tobytes()
+        self._digest = None
         self.full_rebuilds += 1
         return self._D
 
@@ -208,17 +225,29 @@ class IncrementalAPSP:
         A = np.asarray(A, dtype=bool)
         if self._A is None or self._A.shape != A.shape:
             return self._rebuild(A)
-        diff = A != self._A
+        n = A.shape[0]
+        A_bytes = A.tobytes() if A.flags.c_contiguous else None
+        if A_bytes is not None and A_bytes == self._A_bytes:
+            self.noop_hits += 1  # bytewise-identical snapshot: memcmp only
+            return self._D
+        iu, iv = np.nonzero(A != self._A)
+        keep = iu < iv
         if self.exclude is not None:
-            diff[self.exclude, :] = False
-            diff[:, self.exclude] = False
-        if not diff.any():
+            keep &= (iu != self.exclude) & (iv != self.exclude)
+        iu, iv = iu[keep], iv[keep]
+        if iu.size == 0:
             self.noop_hits += 1
             self._A = A.copy()  # resync excluded-vertex edges
+            self._A_bytes = self._A.tobytes()
             return self._D
-        groups = self._grouped_changes(diff)
-        n = A.shape[0]
-        limit = self.max_centers if self.max_centers is not None else max(4, n // 8)
+        limit = self.max_centers if self.max_centers is not None else 4
+        # every group removes at most max-degree-in-diff edges, so
+        # ceil(E / maxdeg) lower-bounds the group count — a backlog that
+        # cannot fit the limit skips the grouping work entirely
+        maxdeg = int((np.bincount(iu, minlength=n) + np.bincount(iv, minlength=n)).max())
+        if iu.size > limit * maxdeg:
+            return self._rebuild(A)
+        groups = self._grouped_changes(iu, iv, n, stop_after=limit)
         if len(groups) > limit:
             return self._rebuild(A)
         mask = self._mask_for(n)
@@ -236,32 +265,69 @@ class IncrementalAPSP:
                 dirty_threshold=self.dirty_threshold, stats=self._update_stats,
             )
             A_cur = A_next
+        # a repair that left every distance untouched (e.g. a far-away
+        # redundant edge) keeps the content digest valid — this is what
+        # lets digest-keyed best-response caches survive remote moves
+        if self._digest is not None:
+            if np.array_equal(D, self._D):
+                self.clean_repairs += 1
+            else:
+                self._digest = None
         self._D = D
         self._A = A.copy()
+        self._A_bytes = A_bytes if A_bytes is not None else self._A.tobytes()
         self.incremental_updates += 1
         return self._D
 
     @staticmethod
-    def _grouped_changes(diff: np.ndarray):
-        """Decompose a symmetric edge diff into single-vertex groups.
+    def _grouped_changes(iu: np.ndarray, iv: np.ndarray, n: int, stop_after: Optional[int] = None):
+        """Decompose an edge diff (as ``u < v`` index arrays) into
+        single-vertex groups.
 
         Greedily picks the vertex covering the most remaining changed
         edges; each group is that vertex plus its incident changes.  For
-        a run of k single-agent moves this yields <= k groups.
+        a run of k single-agent moves this yields <= k groups.  With
+        ``stop_after``, decomposition stops once that many groups exist
+        and edges remain (the caller rebuilds anyway): the returned list
+        then has ``stop_after + 1`` entries, the last one partial.
         """
-        iu, iv = np.nonzero(np.triu(diff, 1))
-        remaining = list(zip(iu.tolist(), iv.tolist()))
         groups = []
-        while remaining:
-            counts: Dict[int, int] = {}
-            for a, b in remaining:
-                counts[a] = counts.get(a, 0) + 1
-                counts[b] = counts.get(b, 0) + 1
-            center = max(counts, key=counts.get)
-            group = [e for e in remaining if center in e]
-            remaining = [e for e in remaining if center not in e]
-            groups.append((center, group))
+        while iu.size:
+            if stop_after is not None and len(groups) > stop_after:
+                break
+            counts = np.bincount(iu, minlength=n) + np.bincount(iv, minlength=n)
+            center = int(counts.argmax())
+            in_group = (iu == center) | (iv == center)
+            groups.append((center, list(zip(iu[in_group].tolist(), iv[in_group].tolist()))))
+            out = ~in_group
+            iu, iv = iu[out], iv[out]
         return groups
+
+    def digest(self) -> bytes:
+        """16-byte BLAKE2b content digest of the current distance matrix.
+
+        Computed lazily and invalidated only when a repair actually
+        changed some distance — a no-op diff or a distance-preserving
+        repair reuses the stored digest.  Two engines (for the same
+        ``exclude``) agree on the digest iff their matrices are equal,
+        so it is a sound cache key for anything that is a pure function
+        of the distances.
+        """
+        if self._D is None:
+            raise RuntimeError("digest() requires a distances() call first")
+        if self._digest is None:
+            # hop distances are exact integers <= n-1 (or inf), so a
+            # narrowing cast is injective and hashes far fewer bytes:
+            # below 255 vertices one byte per entry suffices, with 255
+            # standing in for inf (a real 255 cannot occur)
+            D = self._D
+            if D.shape[0] <= 254:
+                packed = np.minimum(D, 255.0).astype(np.uint8)
+            else:
+                packed = D.astype(np.float32)
+            self._digest = hashlib.blake2b(packed.tobytes(), digest_size=16).digest()
+            self.digest_recomputes += 1
+        return self._digest
 
     def stats(self) -> Dict[str, int]:
         """Counter snapshot: rebuilds / repairs / no-op cache hits."""
@@ -270,23 +336,33 @@ class IncrementalAPSP:
             "incremental_updates": self.incremental_updates,
             "fallback_rebuilds": self._update_stats["fallback_rebuilds"],
             "noop_hits": self.noop_hits,
+            "clean_repairs": self.clean_repairs,
+            "digest_recomputes": self.digest_recomputes,
         }
 
 
 class DeviationCache:
-    """Memoised best-response results keyed by ``(agent, state)``.
+    """Memoised best-response results keyed by ``(agent, key)``.
 
-    The canonical state key (:meth:`repro.core.network.Network.state_key`)
-    pins the *entire* ownership matrix, so a hit is only possible when
-    agent ``u`` faces the exact network it was last priced in — any move
-    incident to ``u``, and any move elsewhere that alters ``G - u``,
-    changes the key and forces a fresh evaluation.  That makes staleness
-    structurally impossible while still collapsing the two places the
-    dynamics re-asks identical questions: repeated scans of one state by
-    the move policy, and revisited states along better-response cycles.
+    The key is whatever pins *all* inputs of the best-response
+    computation.  :class:`IncrementalBackend` uses, per agent:
 
-    A ``game_token`` component keeps one physical cache safe to share
-    between differently-parameterised games.
+    * for **local** games (SG/ASG/GBG/BG) the dirty-agent key — the
+      content digest of ``D(G - u)`` plus ``u``'s incident ownership
+      rows.  A move by ``v`` invalidates exactly the agents whose
+      ``D(G - u)`` actually changed (the dirty region of the move) or
+      whose own edges were touched; every *unaffected* agent keeps its
+      key and is served from cache, so a policy scan recomputes
+      ``Θ(|dirty|)`` best responses instead of ``Θ(n)``.
+    * for non-local games the canonical full state key
+      (:meth:`repro.core.network.Network.state_key`), which pins the
+      entire ownership matrix and can only hit on exact state revisits.
+
+    Either way a hit is only possible when the agent faces inputs
+    bit-identical to the ones it was last priced under, so staleness is
+    structurally impossible.  A ``game_token`` component keeps one
+    physical cache safe to share between differently-parameterised
+    games.
     """
 
     def __init__(self, max_entries: int = 200_000):
@@ -407,42 +483,84 @@ class IncrementalBackend:
         self._full = IncrementalAPSP(dirty_threshold=dirty_threshold)
         self._per_agent: Dict[int, IncrementalAPSP] = {}
         self.cache = DeviationCache(max_entries=max_cache_entries)
+        self._pending_key: Optional[tuple] = None
 
     def full_distances(self, net) -> np.ndarray:
         return self._full.distances(net.A)
 
-    def deviation_distances(self, net, u: int) -> np.ndarray:
+    def _engine_for(self, u: int) -> IncrementalAPSP:
         engine = self._per_agent.get(u)
         if engine is None:
             engine = self._per_agent[u] = IncrementalAPSP(
                 exclude=int(u), dirty_threshold=self.dirty_threshold
             )
-        return engine.distances(net.A)
+        return engine
+
+    def deviation_distances(self, net, u: int) -> np.ndarray:
+        return self._engine_for(u).distances(net.A)
+
+    def _deviation_key(self, game, net, u: int) -> bytes:
+        """Cache key for ``u``'s best response in the current state.
+
+        For *local* games (``game.local_best_response``) the best
+        response is a pure function of ``(rules, D(G - u), u's incident
+        ownership rows)``, so the key is the per-agent digest of exactly
+        those inputs — any move anywhere that leaves them intact hits
+        the cache, however different the rest of the network looks.
+        Non-local games (bilateral consent) and duck-typed networks
+        without an ownership matrix fall back to the full canonical
+        state key, which can only hit on exact state revisits.
+
+        The two key families can never collide: a state key is ``n^2``
+        bytes, a digest key ``16 + 2n`` — equal only at non-integer n.
+        """
+        owner = getattr(net, "owner", None)
+        if owner is None or not getattr(game, "local_best_response", False):
+            return net.state_key()
+        engine = self._engine_for(u)
+        engine.distances(net.A)  # sync the D(G - u) matrix and digest
+        return (
+            engine.digest()
+            + owner[u].tobytes()
+            + np.ascontiguousarray(owner[:, u]).tobytes()
+        )
 
     def cached_best_response(self, game, net, u: int):
         if not self.cache_best_responses:
             return None
-        return self.cache.get(game.cache_token(), int(u), net.state_key())
+        token = game.cache_token()
+        key = self._deviation_key(game, net, u)
+        # a miss is immediately followed by store_best_response for the
+        # same (game, net, u) with the network unchanged; remember the
+        # key so the store does not re-derive it
+        self._pending_key = (token, int(u), key)
+        return self.cache.get(token, int(u), key)
 
     def store_best_response(self, game, net, u: int, br) -> None:
-        if self.cache_best_responses:
-            self.cache.put(game.cache_token(), int(u), net.state_key(), br)
+        if not self.cache_best_responses:
+            return
+        token = game.cache_token()
+        pending = self._pending_key
+        if pending is not None and pending[0] == token and pending[1] == int(u):
+            key = pending[2]
+        else:
+            key = self._deviation_key(game, net, u)
+        self._pending_key = None
+        self.cache.put(token, int(u), key, br)
 
     def reset(self) -> None:
         self._full = IncrementalAPSP(dirty_threshold=self.dirty_threshold)
         self._per_agent.clear()
         self.cache.clear()
+        self._pending_key = None
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        agg = {
-            "full_rebuilds": 0,
-            "incremental_updates": 0,
-            "fallback_rebuilds": 0,
-            "noop_hits": 0,
-        }
+        agg: Dict[str, int] = {}
         for engine in self._per_agent.values():
             for key, value in engine.stats().items():
-                agg[key] += value
+                agg[key] = agg.get(key, 0) + value
+        if not agg:
+            agg = {key: 0 for key in IncrementalAPSP().stats()}
         return {
             "full_graph": self._full.stats(),
             "deviation": agg,

@@ -1,14 +1,17 @@
 """DeviationCache invalidation semantics.
 
-The cache memoises best responses by ``(game rules, agent, canonical
-state)``.  The regression risk is *stale happiness*: an agent evaluated
-as happy being served that verdict after the network changed under it.
-These tests pin the invalidation contract:
+The cache memoises best responses by ``(game rules, agent, key)`` where,
+for local games, the key is the dirty-agent digest of
+``(D(G - u), u's incident ownership rows)``.  The regression risk is
+*stale happiness*: an agent evaluated as happy being served that verdict
+after the network changed under it.  These tests pin the invalidation
+contract:
 
-* any move incident to the agent changes the state key — re-priced;
-* any move elsewhere that changes ``G - u`` changes the key too —
+* any move incident to the agent changes its ownership rows — re-priced;
+* any move elsewhere that changes ``D(G - u)`` changes the digest —
   re-priced (the agent's options depend on all other agents' edges);
-* only a genuine state revisit (e.g. a better-response cycle) may be
+* a state whose ``(D(G - u), own rows)`` content recurs (a
+  better-response cycle, or a remote change invisible to the agent) is
   served from cache, and that answer is exact by construction.
 """
 
@@ -140,6 +143,84 @@ class TestInvalidationSemantics:
         assert mid is not first
         oracle = game.best_responses(net, u)
         assert (revisit.best_cost, revisit.moves) == (oracle.best_cost, oracle.moves)
+
+
+class TestDirtyAgentDigestKeys:
+    """The per-agent digest key: hits exactly when the agent's inputs
+    — ``D(G - u)`` and its own ownership rows — are unchanged."""
+
+    def test_remote_ownership_flip_is_invisible_to_unaffected_agent(self):
+        """Flipping who owns a far-away edge leaves topology, D(G-u) and
+        u's rows intact: the full state key changes, the digest key does
+        not — the cached answer is served and matches the dense oracle."""
+        net = Network.from_owned_edges(
+            6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+        )
+        game = AsymmetricSwapGame("sum")
+        backend = IncrementalBackend()
+        u = 0
+        first = game.best_responses(net, u, backend=backend)
+        old_state_key = net.state_key()
+        # hand ownership of {3,4} to 4 — same topology, different state
+        net.owner[3, 4] = False
+        net.owner[4, 3] = True
+        assert net.state_key() != old_state_key
+        hits_before = backend.cache.hits
+        again = game.best_responses(net, u, backend=backend)
+        assert backend.cache.hits == hits_before + 1
+        assert again is first
+        oracle = game.best_responses(net, u)
+        assert (again.cost_before, again.best_cost, again.moves) == (
+            oracle.cost_before, oracle.best_cost, oracle.moves,
+        )
+
+    def test_distance_changing_move_elsewhere_invalidates(self):
+        """A remote topology change always perturbs D(G-u) (the moved
+        pair's own distance changes), so the digest misses."""
+        net = Network.from_owned_edges(
+            6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]
+        )
+        game = AsymmetricSwapGame("sum")
+        backend = IncrementalBackend()
+        u = 0
+        game.best_responses(net, u, backend=backend)
+        Swap(3, 4, 5).apply(net)  # edge {3,4} -> {3,5}, far from agent 0
+        hits_before = backend.cache.hits
+        got = game.best_responses(net, u, backend=backend)
+        assert backend.cache.hits == hits_before
+        oracle = game.best_responses(net, u)
+        assert (got.best_cost, got.moves) == (oracle.best_cost, oracle.moves)
+
+    def test_non_local_game_uses_full_state_key(self):
+        """Games without local best responses must fall back to exact
+        state-key caching (the bilateral consent check reads the whole
+        network)."""
+        from repro.core.games import BilateralGame, Game
+
+        assert not Game.local_best_response
+        assert not BilateralGame.local_best_response
+        net = Network.from_owned_edges(4, [(0, 1), (1, 2), (2, 3)])
+        game = BilateralGame("sum", alpha=1.0)
+        backend = IncrementalBackend()
+        first = game.best_responses(net, 0, backend=backend)
+        # remote ownership flip: state key changes -> no reuse for
+        # non-local games even though D(G-0) is unchanged
+        net.owner[2, 3] = False
+        net.owner[3, 2] = True
+        hits = backend.cache.hits
+        again = game.best_responses(net, 0, backend=backend)
+        assert backend.cache.hits == hits
+        assert again is not first
+
+    def test_digest_reused_across_noop_queries(self):
+        net = Network.from_owned_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        game = AsymmetricSwapGame("sum")
+        backend = IncrementalBackend()
+        for _ in range(3):
+            game.best_responses(net, 1, backend=backend)
+        engine = backend._per_agent[1]
+        assert engine.digest_recomputes == 1
+        assert backend.cache.hits == 2
 
 
 class TestDynamicsLevelInvalidation:

@@ -1,0 +1,149 @@
+"""Bit-packed kernel vs dense kernel: exact equivalence.
+
+The word-parallel engine (:mod:`repro.graphs.bitkernel`) must agree
+*bit for bit* with the boolean-matmul reference on every primitive —
+single-source BFS, multi-source BFS, masked variants, APSP, vertex-
+removed connectivity — on arbitrary graphs: disconnected ones, masked
+ones, the empty graph, and sizes straddling the 64-bit word boundary.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import adjacency as adj
+from repro.graphs import bitkernel as bk
+
+
+@st.composite
+def graph_mask_case(draw, min_n=1, max_n=140):
+    """Random (possibly disconnected) graph + optional alive-mask."""
+    n = draw(st.integers(min_n, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    A = rng.random((n, n)) < rng.uniform(0.02, 0.4)
+    A = np.triu(A, 1)
+    A = A | A.T
+    mask = None
+    if draw(st.booleans()) and n > 1:
+        mask = rng.random(n) < 0.8
+    return A, mask
+
+
+class TestPacking:
+    @given(st.integers(1, 200), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_pack_unpack_roundtrip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        B = rng.random((3, n)) < 0.5
+        P = bk.pack_rows(B)
+        assert P.dtype == np.uint64
+        assert P.shape == (3, (n + 63) // 64)
+        assert np.array_equal(bk.unpack_rows(P, n), B)
+
+    def test_word_boundary_sizes(self):
+        for n in (1, 63, 64, 65, 127, 128, 129):
+            rng = np.random.default_rng(n)
+            B = rng.random((2, n)) < 0.5
+            assert np.array_equal(bk.unpack_rows(bk.pack_rows(B), n), B)
+
+
+class TestBfsEquivalence:
+    @given(graph_mask_case(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_single_source_matches_dense(self, case, data):
+        A, mask = case
+        n = A.shape[0]
+        s = data.draw(st.integers(0, n - 1), label="source")
+        want = adj.bfs_distances(A, s, mask=mask)
+        got = bk.bfs_distances(A, s, mask=mask)
+        assert np.array_equal(want, got)
+
+    @given(graph_mask_case(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_multi_source_matches_dense(self, case, data):
+        A, mask = case
+        n = A.shape[0]
+        k = data.draw(st.integers(1, n), label="num sources")
+        seed = data.draw(st.integers(0, 2**31 - 1), label="source seed")
+        rng = np.random.default_rng(seed)
+        sources = rng.choice(n, size=k, replace=False).tolist()
+        want = adj.bfs_distances_multi(A, sources, mask=mask)
+        got = bk.bfs_distances_multi(A, sources, mask=mask)
+        assert np.array_equal(want, got)
+
+    @given(graph_mask_case(max_n=90))
+    @settings(max_examples=60, deadline=None)
+    def test_apsp_matches_reference(self, case):
+        A, mask = case
+        want = adj.all_pairs_distances(A, mask=mask)
+        got = bk.all_pairs_distances(A, mask=mask)
+        assert np.array_equal(want, got)
+
+    @given(graph_mask_case(min_n=3, max_n=90), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_connectivity_without_vertex_matches(self, case, data):
+        A, _ = case
+        n = A.shape[0]
+        u = data.draw(st.integers(0, n - 1), label="removed vertex")
+        mask = np.ones(n, dtype=bool)
+        mask[u] = False
+        start = 0 if u != 0 else 1
+        want = bool(np.isfinite(adj.bfs_distances(A, start, mask=mask))[mask].all())
+        assert bk.is_connected_without_vertex(A, u) == want
+
+    def test_duplicate_sources(self):
+        A = adj.from_edges(5, [(0, 1), (1, 2), (2, 3)])
+        sources = [2, 2, 0]
+        assert np.array_equal(
+            adj.bfs_distances_multi(A, sources), bk.bfs_distances_multi(A, sources)
+        )
+
+    def test_empty_and_trivial_graphs(self):
+        assert bk.all_pairs_distances(np.zeros((0, 0), dtype=bool)).shape == (0, 0)
+        one = bk.all_pairs_distances(np.zeros((1, 1), dtype=bool))
+        assert np.array_equal(one, np.zeros((1, 1)))
+        # isolated vertices: everything unreachable
+        A = np.zeros((70, 70), dtype=bool)
+        D = bk.all_pairs_distances(A)
+        assert np.array_equal(D, adj.all_pairs_distances(A))
+
+    def test_masked_out_source_is_all_inf(self):
+        A = adj.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        mask = np.array([True, False, True, True])
+        got = bk.bfs_distances_multi(A, [1, 0], mask=mask)
+        want = adj.bfs_distances_multi(A, [1, 0], mask=mask)
+        assert np.array_equal(got, want)
+        assert np.isinf(got[0]).all()
+
+
+class TestRouting:
+    def test_forced_routing_is_exact_end_to_end(self):
+        """adjacency's routed entry points give identical results with the
+        bitkernel forced on and forced off."""
+        rng = np.random.default_rng(5)
+        A = rng.random((40, 40)) < 0.1
+        A = np.triu(A, 1)
+        A = A | A.T
+        with bk.forced(False):
+            base_apsp = adj.all_pairs_distances_fast(A)
+            base_multi = adj.bfs_distances_multi(A, [0, 3, 7])
+            base_conn = adj.is_connected_without_vertex(A, 5)
+        with bk.forced(True):
+            assert np.array_equal(adj.all_pairs_distances_fast(A), base_apsp)
+            assert np.array_equal(adj.bfs_distances_multi(A, [0, 3, 7]), base_multi)
+            assert adj.is_connected_without_vertex(A, 5) == base_conn
+
+    def test_forced_context_restores(self):
+        before = bk.enabled_for(1000)
+        with bk.forced(False):
+            assert not bk.enabled_for(10**6)
+        assert bk.enabled_for(1000) == before
+
+    def test_size_heuristics(self):
+        with bk.forced(None):
+            assert not bk.enabled_for(bk.MIN_N - 1)
+            assert not bk.enabled_multi(bk.MIN_N - 1, 1000)
+            assert bk.enabled_multi(500, 500)
+            assert not bk.enabled_multi(500, 2)

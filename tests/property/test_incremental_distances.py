@@ -231,6 +231,79 @@ def test_trajectories_identical_above_auto_threshold():
     assert ri.backend_stats["deviation"]["incremental_updates"] > 0
 
 
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(4, 14),
+    st.integers(0, 2**31 - 1),
+    st.sampled_from(["sum", "max"]),
+    st.sampled_from(["asg", "sg", "gbg"]),
+)
+def test_batched_collector_matches_scalar_scored_moves(n, seed, mode, game_kind):
+    """``best_responses`` consumes ``_scored_batches``; the sequential
+    ``_scored_moves`` generator is the behavioural reference.  Both paths
+    must agree exactly — costs, tie sets, ordering — on random instances,
+    otherwise a batching bug could slip through the backend-equivalence
+    suite (every backend shares the batched path)."""
+    from repro.core.games import SwapGame, _collect_best
+
+    rng = np.random.default_rng(seed)
+    A = random_connected_adjacency(n, int(rng.integers(0, n)), rng)
+    net = network_from_adjacency(A, rng)
+    if game_kind == "asg":
+        game = AsymmetricSwapGame(mode)
+    elif game_kind == "sg":
+        game = SwapGame(mode)
+    else:
+        game = GreedyBuyGame(mode, alpha=float(rng.integers(1, 8)))
+    for u in range(net.n):
+        batched = game.best_responses(net, u)
+        cur = game.current_cost(net, u)
+        scalar = _collect_best(u, cur, game._scored_moves(net, u))
+        assert batched.cost_before == scalar.cost_before
+        assert batched.best_cost == scalar.best_cost
+        assert batched.moves == scalar.moves
+
+
+@pytest.mark.parametrize("game_kind", ["asg", "gbg"])
+def test_trajectories_identical_across_all_three_kernels(game_kind):
+    """dense / incremental / bitkernel-backed incremental must produce
+    bit-identical seeded runs — the word-parallel kernel is a pure
+    performance substrate, never a behaviour change."""
+    from repro.graphs import bitkernel
+    from repro.graphs.generators import random_budget_network, random_m_edge_network
+
+    n = 48
+    if game_kind == "asg":
+        game = AsymmetricSwapGame("sum")
+        net = random_budget_network(n, 3, seed=23)
+    else:
+        game = GreedyBuyGame("sum", alpha=n / 4.0)
+        net = random_m_edge_network(n, 2 * n, seed=23)
+
+    runs = {}
+    with bitkernel.forced(False):
+        runs["dense"] = run_dynamics(
+            game, net, MaxCostPolicy(), seed=23, max_steps=3 * n, backend="dense"
+        )
+        runs["incremental"] = run_dynamics(
+            game, net, MaxCostPolicy(), seed=23, max_steps=3 * n, backend="incremental"
+        )
+    with bitkernel.forced(True):
+        runs["bitkernel"] = run_dynamics(
+            game, net, MaxCostPolicy(), seed=23, max_steps=3 * n, backend="incremental"
+        )
+        runs["bitkernel-dense"] = run_dynamics(
+            game, net, MaxCostPolicy(), seed=23, max_steps=3 * n, backend="dense"
+        )
+    reference = runs["dense"]
+    for name, run in runs.items():
+        assert run.status == reference.status, name
+        assert [(r.agent, r.move, r.cost_before, r.cost_after) for r in run.trajectory] == [
+            (r.agent, r.move, r.cost_before, r.cost_after) for r in reference.trajectory
+        ], name
+        assert run.final.state_key() == reference.final.state_key(), name
+
+
 def test_deterministic_policy_trajectories_identical():
     rng = np.random.default_rng(5)
     A = random_connected_adjacency(12, 6, rng)
