@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Dependency-free line-coverage gate for the tier-1 suite.
+
+Usage::
+
+    PYTHONPATH=src python scripts/measure_coverage.py [--fail-under PCT]
+                                                      [--report N]
+                                                      [pytest args...]
+
+Runs pytest *in-process* under a ``sys.settrace`` hook that records
+executed lines of every module below ``src/repro`` (frames of foreign
+code are not line-traced, which keeps the overhead tolerable).  The
+denominator is the set of executable lines obtained by compiling each
+source file and walking its code objects' ``co_lines`` tables — the
+same universe ``coverage.py`` uses, minus its exclusion pragmas.
+
+The offline toolchain has no ``coverage``/``pytest-cov``; this script
+is the measurement CI gates on (``--fail-under``), so the number in
+``.github/workflows/ci.yml`` and the number a developer reproduces
+locally come from the same code path.
+
+Exit status: 0 on success, 2 when below ``--fail-under``, pytest's own
+status when the suite itself fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def executable_lines(path: Path) -> set:
+    """All line numbers the compiler emits code for in ``path``."""
+    try:
+        code = compile(path.read_text(), str(path), "exec")
+    except SyntaxError:
+        return set()
+    lines = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        lines.update(ln for _, _, ln in obj.co_lines() if ln is not None)
+        for const in obj.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+    return lines
+
+
+def collect_universe() -> dict:
+    """``resolved filename -> executable line set`` for src/repro."""
+    return {
+        str(path.resolve()): executable_lines(path)
+        for path in sorted(SRC_ROOT.rglob("*.py"))
+    }
+
+
+class LineCollector:
+    """A settrace hook that only line-traces frames from src/repro."""
+
+    def __init__(self, universe: dict) -> None:
+        self.universe = universe
+        self.hits = {fn: set() for fn in universe}
+
+    def global_trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        hits = self.hits.get(frame.f_code.co_filename)
+        if hits is None:
+            return None  # foreign frame: skip line events entirely
+
+        def local_trace(frame, event, arg):
+            if event == "line":
+                hits.add(frame.f_lineno)
+            return local_trace
+
+        hits.add(frame.f_lineno)
+        return local_trace
+
+    def install(self) -> None:
+        threading.settrace(self.global_trace)
+        sys.settrace(self.global_trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fail-under", type=float, default=None, metavar="PCT",
+                        help="exit 2 when total coverage is below PCT")
+    parser.add_argument("--report", type=int, default=10, metavar="N",
+                        help="show the N least-covered files (0: none)")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="arguments forwarded to pytest (default: -q -p no:cacheprovider)")
+    # parse_known_args so dash-prefixed pytest flags (e.g. `-q`, `-k
+    # expr`) pass through without needing a `--` separator
+    args, extra = parser.parse_known_args(argv)
+    args.pytest_args += extra
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    os.environ.setdefault("REPRO_N_JOBS", "1")  # child processes are untraced
+    import pytest
+
+    universe = collect_universe()
+    collector = LineCollector(universe)
+    pytest_args = args.pytest_args or ["-q", "-p", "no:cacheprovider"]
+
+    collector.install()
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        collector.uninstall()
+    if exit_code != 0:
+        print(f"pytest failed (exit {exit_code}); coverage not evaluated")
+        return int(exit_code)
+
+    rows = []
+    total_exec = total_hit = 0
+    for fn, lines in sorted(universe.items()):
+        if not lines:
+            continue
+        hit = len(collector.hits[fn] & lines)
+        total_exec += len(lines)
+        total_hit += hit
+        rows.append((100.0 * hit / len(lines), hit, len(lines), fn))
+    pct = 100.0 * total_hit / total_exec if total_exec else 100.0
+
+    if args.report:
+        print(f"\n{'cover':>7}  {'lines':>11}  file  (least-covered {args.report})")
+        for cover, hit, n, fn in sorted(rows)[: args.report]:
+            rel = os.path.relpath(fn, REPO_ROOT)
+            print(f"{cover:6.1f}%  {hit:5d}/{n:<5d}  {rel}")
+    print(f"\nTOTAL line coverage: {pct:.2f}% ({total_hit}/{total_exec} lines, "
+          f"{len(rows)} files)")
+
+    if args.fail_under is not None and pct < args.fail_under:
+        print(f"FAIL: coverage {pct:.2f}% is below the gate of {args.fail_under:.2f}%")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,9 @@ Commands
     One dynamics run with a summary of the outcome.
 ``experiment fig7 [--trials T] [--n 10,20,30] [--full]``
     A figure grid of the empirical study, printed as the paper's series.
+``campaign fig7 [--resume] [--shard i/k] [--status] ...``
+    A figure grid against the durable campaign store: interrupted runs
+    resume with zero recomputation, shards merge byte-identically.
 ``classify [figures...]``
     Exhaustive reachable-dynamics classification of instance states.
 """
@@ -73,18 +76,23 @@ def cmd_run(args) -> int:
     return 0 if result.converged else 1
 
 
-def cmd_experiment(args) -> int:
-    """``repro experiment``: run one figure grid and print its series."""
+def _figure_specs():
     from .experiments.asg_budget import figure7_spec, figure8_spec
     from .experiments.gbg import figure11_spec, figure13_spec
-    from .experiments.report import format_figure
-    from .experiments.runner import run_figure
     from .experiments.topology import figure12_spec, figure14_spec
 
-    specs = {
+    return {
         "fig7": figure7_spec, "fig8": figure8_spec, "fig11": figure11_spec,
         "fig12": figure12_spec, "fig13": figure13_spec, "fig14": figure14_spec,
     }
+
+
+def cmd_experiment(args) -> int:
+    """``repro experiment``: run one figure grid and print its series."""
+    from .experiments.report import format_figure
+    from .experiments.runner import run_figure
+
+    specs = _figure_specs()
     if args.figure not in specs:
         print(f"unknown figure {args.figure!r} (choose from {', '.join(specs)})")
         return 2
@@ -97,6 +105,69 @@ def cmd_experiment(args) -> int:
     print(format_figure(result, "mean"))
     print()
     print(format_figure(result, "max"))
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """``repro campaign``: run a figure grid against the durable store."""
+    import os
+
+    from .experiments.campaign import (
+        CampaignMismatch,
+        campaign_status,
+        run_campaign,
+    )
+    from .experiments.report import format_figure
+
+    specs = _figure_specs()
+    if args.figure not in specs:
+        print(f"unknown figure {args.figure!r} (choose from {', '.join(specs)})")
+        return 2
+    spec = specs[args.figure]()
+    if args.full:
+        spec = spec.paper_scale()
+    root = os.path.join(args.results_dir, f"{args.figure}-seed{args.seed}")
+
+    if args.status:
+        try:
+            status = campaign_status(root)
+        except FileNotFoundError:
+            print(f"no campaign under {root}")
+            return 1
+        print(f"campaign {status['figure']} (seed {status['seed']}) in {root}: "
+              f"{status['done']}/{status['total']} trials done, "
+              f"{status['remaining']} remaining"
+              + (" — complete" if status["complete"] else ""))
+        for key, cell in status["cells"].items():
+            print(f"  {key}  {cell['series']:<30} n={cell['n']:<4} "
+                  f"{cell['done']}/{cell['trials']}")
+        return 0
+
+    try:
+        shard = (0, 1)
+        if args.shard:
+            i, k = args.shard.split("/")
+            shard = (int(i), int(k))
+        n_values = [int(x) for x in args.n.split(",")] if args.n else None
+        run = run_campaign(
+            spec, root, seed=args.seed, trials=args.trials, n_values=n_values,
+            shard=shard, n_jobs=args.jobs, max_new_trials=args.max_trials,
+            resume=args.resume,
+        )
+    except (CampaignMismatch, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"campaign {args.figure} in {root}: ran {run.new_trials} new trials, "
+          f"skipped {run.skipped_existing} already stored, "
+          f"{run.remaining}/{run.total} remaining")
+    if run.complete:
+        print()
+        print(format_figure(run.result, "mean"))
+        print()
+        print(format_figure(run.result, "max"))
+    else:
+        print("(partial aggregate — rerun with --resume to continue, "
+              "or run other shards)")
     return 0
 
 
@@ -177,6 +248,27 @@ def main(argv=None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--full", action="store_true")
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("campaign", help="resumable sharded figure campaign")
+    p.add_argument("figure")
+    p.add_argument("--results-dir", default="results",
+                   help="store root; the campaign lives in <dir>/<figure>-seed<seed>")
+    p.add_argument("--trials", type=int, default=None)
+    p.add_argument("--n", type=str, default=None)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: all cores for big batches)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an existing store (without this flag a "
+                        "store that already holds records is refused)")
+    p.add_argument("--shard", type=str, default=None, metavar="i/k",
+                   help="run only trials t with t %% k == i (0-based)")
+    p.add_argument("--max-trials", type=int, default=None,
+                   help="cap on new trials this invocation")
+    p.add_argument("--status", action="store_true",
+                   help="print progress and exit (runs nothing)")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("classify", help="reachable-dynamics classification")
     p.add_argument("figures", nargs="*")

@@ -8,7 +8,7 @@ series; :func:`summarize` condenses them for reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -18,7 +18,7 @@ from ..core.games import Game
 from ..core.network import Network
 from ..graphs import adjacency as adj
 
-__all__ = ["TrajectoryTrace", "trace_run", "summarize"]
+__all__ = ["TrajectoryTrace", "trace_run", "summarize", "annotate_cycle"]
 
 
 @dataclass
@@ -72,6 +72,49 @@ def trace_run(game: Game, initial: Network, result: RunResult) -> TrajectoryTrac
     if net.state_key() != result.final.state_key():
         raise ValueError("trajectory does not replay to the recorded final state")
     return trace
+
+
+def annotate_cycle(initial: Network, result: RunResult, with_ownership: bool = True) -> RunResult:
+    """Post-hoc cycle detection on a recorded trajectory.
+
+    Runs produced with ``detect_cycles=False`` but a recorded
+    trajectory (e.g. a stored trace replayed later) carry no cycle
+    information: ``cycled`` is ``False`` and ``cycle_length`` is
+    ``None`` even when the trajectory did revisit a state.  This
+    replays ``result.trajectory`` from ``initial``, hashes every
+    visited state, and on the first revisit returns a copy of
+    ``result`` with ``status="cycled"``, ``cycle_start`` set to the
+    first visit and ``cycle_end`` to the revisit — so ``cycle_length``
+    is the true cycle length even when the revisit happened mid-trace.
+    Without a revisit ``result`` is returned unchanged.
+
+    A trajectory is *required*: a run recorded with
+    ``record_trajectory=False`` (the sweep runner's default) cannot be
+    annotated, and pretending it is acyclic would be silently wrong —
+    such results raise instead.
+
+    ``with_ownership`` selects the state notion (see
+    :meth:`~repro.core.network.Network.state_key`): ownership-sensitive
+    for the asymmetric games, topology-only for the Swap Game.
+    """
+    if result.steps > 0 and not result.trajectory:
+        raise ValueError(
+            "result carries no trajectory (record_trajectory=False?); "
+            "cycle annotation needs the recorded moves"
+        )
+    if not result.trajectory:
+        return result
+    net = initial.copy()
+    seen = {net.state_key(with_ownership): 0}
+    for i, rec in enumerate(result.trajectory):
+        rec.move.apply(net)
+        key = net.state_key(with_ownership)
+        if key in seen:
+            return replace(
+                result, status="cycled", cycle_start=seen[key], cycle_end=i + 1
+            )
+        seen[key] = i + 1
+    return result
 
 
 def summarize(trace: TrajectoryTrace) -> Dict[str, object]:

@@ -14,6 +14,11 @@ The trajectory records every move with its operation kind, so the
 phase-structure analysis of Section 4.2.2 (deletion phase / swap phase /
 cleanup) falls out of ``RunResult.move_counts`` /
 ``RunResult.kind_trajectory``.
+
+:class:`SimultaneousDynamics` is the synchronous activation model: all
+unhappy agents plan against the round-start state and the moves are
+applied together, under an explicit collision rule (see the class
+docstring).  Cycles are then detected on round-boundary states.
 """
 
 from __future__ import annotations
@@ -26,17 +31,22 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from ..graphs.incremental import DistanceBackend, make_backend
-from .games import BestResponse, Game
-from .moves import Move, move_kind
+from .games import EPS, BestResponse, Game
+from .moves import Buy, Delete, Move, Swap, move_kind
 from .network import Network
 from .policies import MovePolicy
 
 __all__ = [
     "StepRecord",
     "RunResult",
+    "RoundRecord",
+    "SimultaneousResult",
+    "SimultaneousDynamics",
     "run_dynamics",
+    "run_simultaneous_dynamics",
     "choose_move",
     "resolve_backend",
+    "resolve_auto_backend",
     "AUTO_BACKEND_MIN_N",
 ]
 
@@ -64,17 +74,27 @@ def _select_caller(policy: MovePolicy):
     return lambda game, net, rng, backend=None: policy.select(game, net, rng)
 
 
+def resolve_auto_backend(net: Network, backend) -> DistanceBackend:
+    """Resolve the ``"auto"`` size heuristic and build the backend.
+
+    The single owner of the auto policy — every dynamics loop
+    (sequential and simultaneous) resolves through here so they can
+    never drift apart.
+    """
+    if backend == "auto":
+        backend = "incremental" if net.n >= AUTO_BACKEND_MIN_N else "dense"
+    return make_backend(backend)
+
+
 def resolve_backend(policy: MovePolicy, net: Network, backend):
-    """Shared bootstrap for every dynamics loop: resolve the ``"auto"``
-    size heuristic, build the backend, and wrap ``policy.select`` so
-    legacy three-argument policies keep working.
+    """Shared bootstrap for the sequential dynamics loops: resolve the
+    ``"auto"`` size heuristic, build the backend, and wrap
+    ``policy.select`` so legacy three-argument policies keep working.
 
     Returns ``(backend_obj, select)`` where ``select(game, net, rng,
     backend=...)`` is always safe to call.
     """
-    if backend == "auto":
-        backend = "incremental" if net.n >= AUTO_BACKEND_MIN_N else "dense"
-    return make_backend(backend), _select_caller(policy)
+    return resolve_auto_backend(net, backend), _select_caller(policy)
 
 
 @dataclass
@@ -103,6 +123,12 @@ class RunResult:
     final: Network
     trajectory: List[StepRecord] = field(default_factory=list)
     cycle_start: Optional[int] = None
+    #: step index at which the revisit closing the cycle was observed.
+    #: ``run_dynamics`` stops at the revisit, so there it equals
+    #: ``steps``; cycles found *inside* a replayed trace (see
+    #: :func:`repro.analysis.trajectories.annotate_cycle`) keep the full
+    #: trajectory and record the revisit position here instead.
+    cycle_end: Optional[int] = None
     #: instrumentation counters of the distance backend (empty for dense)
     backend_stats: Dict = field(default_factory=dict)
 
@@ -128,10 +154,18 @@ class RunResult:
 
     @property
     def cycle_length(self) -> Optional[int]:
-        """Length of the detected cycle, or ``None``."""
+        """Length of the detected cycle, or ``None``.
+
+        Works both for live detection (``run_dynamics`` with
+        ``detect_cycles=True``, where the run stops at the revisit) and
+        for cycles found after the fact in a stored/replayed trace,
+        where the revisit position is ``cycle_end`` rather than the end
+        of the trajectory.
+        """
         if self.cycle_start is None:
             return None
-        return self.steps - self.cycle_start
+        end = self.cycle_end if self.cycle_end is not None else self.steps
+        return end - self.cycle_start
 
 
 def choose_move(br: BestResponse, rng: np.random.Generator, tie_break: str = "random") -> Move:
@@ -207,7 +241,9 @@ def run_dynamics(
     def finish(status: str, steps: int, cycle_start: Optional[int] = None) -> RunResult:
         return RunResult(
             status, steps, net, trajectory,
-            cycle_start=cycle_start, backend_stats=backend_obj.stats(),
+            cycle_start=cycle_start,
+            cycle_end=steps if cycle_start is not None else None,
+            backend_stats=backend_obj.stats(),
         )
 
     for step in range(max_steps):
@@ -229,3 +265,231 @@ def run_dynamics(
             seen[key] = step + 1
 
     return finish("exhausted", max_steps)
+
+
+# ---------------------------------------------------------------------------
+# Simultaneous-move dynamics
+# ---------------------------------------------------------------------------
+
+
+def move_applicable(move: Move, net: Network) -> bool:
+    """Whether ``move``'s structural preconditions hold on ``net``.
+
+    Simultaneous rounds plan all moves against the round-start state; by
+    the time a later agent's move is applied, earlier movers may have
+    consumed the edge slots it relies on.  This predicate is checked
+    *before* ``Move.apply`` so a conflicting move is skipped cleanly
+    instead of raising halfway through a compound mutation.
+    """
+    u = move.agent
+    if isinstance(move, Swap):
+        return net.has_edge(u, move.old) and not net.has_edge(u, move.new)
+    if isinstance(move, Buy):
+        return not net.has_edge(u, move.target)
+    if isinstance(move, Delete):
+        return bool(net.owner[u, move.target])
+    # StrategyChange: removals always target currently-incident edges,
+    # so only the additions can conflict (an edge the other endpoint
+    # created in the meantime).
+    if move.bilateral:
+        current = set(net.neighbors(u).tolist())
+    else:
+        current = set(net.owned_targets(u).tolist())
+    return all(not net.A[u, v] for v in move.new_targets - current)
+
+
+@dataclass
+class RoundRecord:
+    """One simultaneous round: who was activated and what happened.
+
+    ``movers`` is the full unhappy set at the start of the round (every
+    activated agent); ``applied`` the step records of moves that went
+    through; ``skipped`` the ``(agent, reason)`` pairs dropped by the
+    collision rule (``reason`` is ``"conflict"`` for structurally
+    impossible moves, ``"blocked"`` for bilateral moves whose consent
+    evaporated mid-round, and ``"stale"`` for moves that stopped
+    improving).
+    """
+
+    round: int
+    movers: List[int] = field(default_factory=list)
+    applied: List[StepRecord] = field(default_factory=list)
+    skipped: List[tuple] = field(default_factory=list)
+
+
+@dataclass
+class SimultaneousResult:
+    """Outcome of a simultaneous-move run.
+
+    ``steps`` counts *applied moves* (comparable to the sequential
+    process); ``rounds`` counts activation rounds.  ``cycle_start`` /
+    ``cycle_end`` are in rounds, referring to the round-boundary states.
+    """
+
+    status: str  # "converged" | "cycled" | "exhausted"
+    rounds: int
+    steps: int
+    final: Network
+    round_records: List[RoundRecord] = field(default_factory=list)
+    cycle_start: Optional[int] = None
+    cycle_end: Optional[int] = None
+    backend_stats: Dict = field(default_factory=dict)
+
+    @property
+    def converged(self) -> bool:
+        """Whether the run reached a stable network."""
+        return self.status == "converged"
+
+    @property
+    def cycled(self) -> bool:
+        """Whether a round-boundary state recurred."""
+        return self.status == "cycled"
+
+    @property
+    def trajectory(self) -> List[StepRecord]:
+        """All applied moves in application order."""
+        return [rec for rr in self.round_records for rec in rr.applied]
+
+    @property
+    def collisions(self) -> int:
+        """Total planned moves dropped by the collision rule."""
+        return sum(len(rr.skipped) for rr in self.round_records)
+
+
+class SimultaneousDynamics:
+    """Synchronous activation: every unhappy agent moves in one round.
+
+    Each round, best responses are planned for *all* unhappy agents
+    against the round-start state, then applied in ascending agent id.
+    Because earlier appliers mutate the network the planned moves can
+    collide; the explicit collision rule decides what happens:
+
+    * ``collision="forfeit"`` (default): before applying an agent's
+      planned move, re-check it — a structurally impossible move is
+      skipped (``"conflict"``), and one that no longer *strictly
+      improves* the mover on the mid-round network is skipped as well
+      (``"stale"``).  No agent ever ends a round worse off by its own
+      move.
+    * ``collision="force"``: apply every planned move that is still
+      structurally possible, even if it stopped being improving — the
+      classic simultaneous best-response process where agents commit
+      blindly.  Only ``"conflict"`` and ``"blocked"`` skips occur.
+
+    Consent is *admissibility*, not optimality: for games whose moves
+    need other agents' agreement (``BilateralGame.feasible``), a
+    bilateral strategy change whose consent evaporated mid-round is
+    skipped as ``"blocked"`` under **both** collision rules — a round
+    must never materialise an edge the game's own move definition could
+    not produce.
+
+    Cycle detection hashes round-boundary states (simultaneous dynamics
+    cycle through *rounds*, not individual moves).
+    """
+
+    def __init__(
+        self,
+        collision: str = "forfeit",
+        move_tie_break: str = "random",
+        detect_cycles: bool = True,
+    ):
+        if collision not in ("forfeit", "force"):
+            raise ValueError("collision must be 'forfeit' or 'force'")
+        self.collision = collision
+        self.move_tie_break = move_tie_break
+        self.detect_cycles = detect_cycles
+
+    def run(
+        self,
+        game: Game,
+        initial: Network,
+        max_rounds: int = 1_000,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        copy_initial: bool = True,
+        backend: Union[str, DistanceBackend, None] = "auto",
+    ) -> SimultaneousResult:
+        """Run rounds until stability, a repeated round state, or
+        ``max_rounds``."""
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        net = initial.copy() if copy_initial else initial
+        backend_obj = resolve_auto_backend(net, backend)
+        records: List[RoundRecord] = []
+        seen: Dict[bytes, int] = {net.state_key(): 0}
+        steps = 0
+
+        def finish(status: str, rounds: int, cycle_start=None, cycle_end=None):
+            return SimultaneousResult(
+                status, rounds, steps, net, records,
+                cycle_start=cycle_start, cycle_end=cycle_end,
+                backend_stats=backend_obj.stats(),
+            )
+
+        for rnd in range(max_rounds):
+            planned: List[tuple] = []
+            for u in range(net.n):
+                br = game.best_responses(net, u, backend=backend_obj)
+                if br.is_improving:
+                    planned.append((u, choose_move(br, rng, self.move_tie_break), br))
+            if not planned:
+                return finish("converged", rnd)
+            record = RoundRecord(rnd, movers=[u for u, _, _ in planned])
+            consent = getattr(game, "feasible", None)
+            for u, move, br in planned:
+                if not move_applicable(move, net):
+                    record.skipped.append((u, "conflict"))
+                    continue
+                if (
+                    consent is not None
+                    and getattr(move, "bilateral", False)
+                    and not consent(net, move)
+                ):
+                    record.skipped.append((u, "blocked"))
+                    continue
+                cost_before = game.current_cost(net, u, backend=backend_obj)
+                if self.collision == "forfeit":
+                    new_cost = game.evaluate_move(net, u, move, backend=backend_obj)
+                    if new_cost >= cost_before - EPS:
+                        record.skipped.append((u, "stale"))
+                        continue
+                kind = move_kind(move, net)
+                move.apply(net)
+                cost_after = game.current_cost(net, u, backend=backend_obj)
+                record.applied.append(
+                    StepRecord(steps, u, move, kind, cost_before, cost_after)
+                )
+                steps += 1
+            records.append(record)
+            if self.detect_cycles:
+                key = net.state_key()
+                if key in seen:
+                    return finish(
+                        "cycled", rnd + 1, cycle_start=seen[key], cycle_end=rnd + 1
+                    )
+                seen[key] = rnd + 1
+
+        return finish("exhausted", max_rounds)
+
+
+def run_simultaneous_dynamics(
+    game: Game,
+    initial: Network,
+    max_rounds: int = 1_000,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    collision: str = "forfeit",
+    move_tie_break: str = "random",
+    detect_cycles: bool = True,
+    copy_initial: bool = True,
+    backend: Union[str, DistanceBackend, None] = "auto",
+) -> SimultaneousResult:
+    """Functional wrapper around :class:`SimultaneousDynamics`."""
+    engine = SimultaneousDynamics(
+        collision=collision, move_tie_break=move_tie_break, detect_cycles=detect_cycles
+    )
+    return engine.run(
+        game, initial, max_rounds=max_rounds, rng=rng, seed=seed,
+        copy_initial=copy_initial, backend=backend,
+    )

@@ -282,11 +282,31 @@ class Game:
         """All admissible strategy-changes of ``u`` (improving or not)."""
         return [m for m, _ in self._scored_moves(net, u, backend=backend)]
 
-    def evaluate_move(self, net: Network, u: int, move: Move) -> float:
-        """Cost of ``u`` after applying ``move`` (generic apply/undo path)."""
+    def evaluate_move(
+        self, net: Network, u: int, move: Move, backend: Optional[DistanceBackend] = None
+    ) -> float:
+        """Cost of ``u`` after applying ``move`` (generic copy path).
+
+        With a ``backend`` the distance term is priced through
+        ``D(G - u)`` exactly like :meth:`_scored_moves` does (a shortest
+        path from ``u`` never revisits ``u``, and ``D(G - u)`` is
+        unchanged by ``u``'s own moves) — no BFS runs on the throwaway
+        copy, which only supplies the new neighbourhood and edge-cost
+        term.
+        """
         work = net.copy()
         move.apply(work)
-        return self.current_cost(work, u)
+        if backend is None or move.agent != u:
+            # the D(G - u) shortcut is only valid for u's *own* moves —
+            # another agent's move can change distances in G - u, so
+            # pricing u under someone else's move takes the copy path
+            return self.current_cost(work, u)
+        evaluator = DeviationEvaluator(
+            net, u, self.mode, D=backend.deviation_distances(net, u)
+        )
+        return self.edge_rule(work, u, self.alpha) + evaluator.distance_cost(
+            work.neighbors(u)
+        )
 
     def improving_moves(
         self, net: Network, u: int, backend: Optional[DistanceBackend] = None

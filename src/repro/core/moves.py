@@ -25,7 +25,16 @@ from typing import FrozenSet, Tuple, Union
 
 from .network import Network
 
-__all__ = ["Swap", "Buy", "Delete", "StrategyChange", "Move", "move_kind"]
+__all__ = [
+    "Swap",
+    "Buy",
+    "Delete",
+    "StrategyChange",
+    "Move",
+    "move_kind",
+    "move_to_dict",
+    "move_from_dict",
+]
 
 
 @dataclass(frozen=True)
@@ -153,6 +162,48 @@ class StrategyChange:
 
 
 Move = Union[Swap, Buy, Delete, StrategyChange]
+
+
+def move_to_dict(move: Move) -> dict:
+    """JSON-serialisable description of a move (inverse of
+    :func:`move_from_dict`).
+
+    Used by the golden-trajectory fixtures and the campaign store, so
+    the representation must stay stable: field names and target order
+    are canonical (``new_targets`` sorted ascending).
+    """
+    if isinstance(move, Swap):
+        return {"op": "swap", "agent": move.agent, "old": move.old, "new": move.new}
+    if isinstance(move, Buy):
+        return {"op": "buy", "agent": move.agent, "target": move.target}
+    if isinstance(move, Delete):
+        return {"op": "delete", "agent": move.agent, "target": move.target}
+    if isinstance(move, StrategyChange):
+        return {
+            "op": "strategy",
+            "agent": move.agent,
+            "new_targets": sorted(move.new_targets),
+            "bilateral": move.bilateral,
+        }
+    raise TypeError(f"not a move: {move!r}")
+
+
+def move_from_dict(data: dict) -> Move:
+    """Rebuild a move from :func:`move_to_dict`'s representation."""
+    op = data["op"]
+    if op == "swap":
+        return Swap(int(data["agent"]), int(data["old"]), int(data["new"]))
+    if op == "buy":
+        return Buy(int(data["agent"]), int(data["target"]))
+    if op == "delete":
+        return Delete(int(data["agent"]), int(data["target"]))
+    if op == "strategy":
+        return StrategyChange(
+            int(data["agent"]),
+            frozenset(int(t) for t in data["new_targets"]),
+            bool(data.get("bilateral", False)),
+        )
+    raise ValueError(f"unknown move op {op!r}")
 
 
 def move_kind(move: Move, net_before: Network) -> str:

@@ -19,6 +19,17 @@ Implemented policies:
 * :class:`RoundRobinPolicy` — cyclic scan starting after the last mover.
 * :class:`ScriptedPolicy` — plays a fixed agent sequence (adversarial
   schedules for the counterexample instances).
+* :class:`GreedyImprovementPolicy` — the *greedy/limited-deviation*
+  variant (cf. Lenzner's greedy selfish network creation): the selected
+  agent plays *an* improving move, not necessarily a best response.
+* :class:`NoisyBestResponsePolicy` — ε-greedy wrapper: with probability
+  ε a uniformly random unhappy agent plays a uniformly random improving
+  move; otherwise the wrapped base policy selects as usual.  ε = 0 is
+  *exactly* the base policy (same RNG stream, same trajectory).
+* :class:`AdversarialPolicy` — replays a fixed ``(agent, move)``
+  schedule, looping: the paper's cycle-forcing schedules (Theorems 2.16,
+  3.3, 3.7, 4.3, 5.1/5.2) as an activation model, with each scheduled
+  move checked to be a best response (or at least improving).
 
 Every policy asks ``game.best_responses(net, u, backend=...)`` per
 scanned agent.  With an incremental backend those calls are memoised by
@@ -30,12 +41,13 @@ evaluated — unaffected agents cost one dict lookup each.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graphs.incremental import DistanceBackend
-from .games import BestResponse, Game
+from .games import EPS, BestResponse, Game, _move_sort_key, _op_rank
+from .moves import Move
 from .network import Network
 
 __all__ = [
@@ -45,6 +57,9 @@ __all__ = [
     "FirstUnhappyPolicy",
     "RoundRobinPolicy",
     "ScriptedPolicy",
+    "GreedyImprovementPolicy",
+    "NoisyBestResponsePolicy",
+    "AdversarialPolicy",
 ]
 
 
@@ -208,3 +223,198 @@ class ScriptedPolicy(MovePolicy):
 
     def notify(self, agent: int) -> None:
         self._pos += 1
+
+
+class GreedyImprovementPolicy(MovePolicy):
+    """Any improving move, not just a best response.
+
+    The greedy/limited-deviation variant of the dynamics (cf. Lenzner's
+    greedy selfish network creation): the selected agent performs *an*
+    improving move.  ``order`` controls which unhappy agent moves
+    (``"index"``: smallest id; ``"random"``: uniform), ``move_choice``
+    which of its improving moves it plays (``"first"``: canonical
+    delete < swap < buy order, i.e. the least-commitment improving
+    operation; ``"random"``: uniform over all improving moves).
+
+    The mover's cost strictly decreases in every step — the trajectory
+    invariant the property suite pins down — but the played move may
+    save less than the best response would.
+    """
+
+    def __init__(self, order: str = "index", move_choice: str = "first"):
+        if order not in ("index", "random"):
+            raise ValueError("order must be 'index' or 'random'")
+        if move_choice not in ("first", "random"):
+            raise ValueError("move_choice must be 'first' or 'random'")
+        self.order = order
+        self.move_choice = move_choice
+
+    def select(
+        self,
+        game: Game,
+        net: Network,
+        rng: np.random.Generator,
+        backend: Optional[DistanceBackend] = None,
+    ) -> Optional[BestResponse]:
+        """First unhappy agent in scan order plays one improving move."""
+        candidates = list(range(net.n))
+        if self.order == "random":
+            rng.shuffle(candidates)
+        for u in candidates:
+            # unhappiness goes through best_responses, which the
+            # incremental backend memoises under the dirty-agent digest
+            # — happy agents cost one dict lookup.  The *selected*
+            # agent enumerates twice on a cache miss (best response +
+            # improving set, which BestResponse cannot supply: greedy
+            # wants all improving moves, not just the best ones); that
+            # is one extra enumeration per step, against n saved per
+            # scan in the revisit-heavy regimes the cache serves.
+            if not game.is_unhappy(net, u, backend=backend):
+                continue
+            improving = game.improving_moves(net, u, backend=backend)
+            cur = game.current_cost(net, u, backend=backend)
+            if self.move_choice == "random":
+                move, cost = improving[int(rng.integers(len(improving)))]
+            else:
+                move, cost = min(
+                    improving, key=lambda mc: (_op_rank(mc[0]), _move_sort_key(mc[0]))
+                )
+            return BestResponse(u, cur, cost, [move])
+        return None
+
+
+class NoisyBestResponsePolicy(MovePolicy):
+    """ε-greedy activation: explore with probability ε, else delegate.
+
+    With probability ``epsilon`` a uniformly random unhappy agent plays
+    a uniformly random improving move (exploration); otherwise the
+    wrapped ``base`` policy selects exactly as it would on its own.
+
+    ``epsilon = 0`` short-circuits to the base policy *without touching
+    the RNG*, so a seeded run is trajectory-for-trajectory identical to
+    running the base policy directly — the property suite relies on
+    this.  ``base`` must accept the ``backend`` keyword (all in-tree
+    policies do).
+    """
+
+    def __init__(self, base: MovePolicy, epsilon: float):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.base = base
+        self.epsilon = float(epsilon)
+        self._explored_last = False
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._explored_last = False
+
+    def notify(self, agent: int) -> None:
+        # a stateful base (round-robin pointer, scripted/adversarial
+        # schedule position) must only advance past selections it made
+        # itself — exploration steps are invisible to it
+        if not self._explored_last:
+            self.base.notify(agent)
+
+    def select(
+        self,
+        game: Game,
+        net: Network,
+        rng: np.random.Generator,
+        backend: Optional[DistanceBackend] = None,
+    ) -> Optional[BestResponse]:
+        """Explore with probability ε, else the base policy's choice."""
+        self._explored_last = False
+        if self.epsilon == 0.0:
+            return self.base.select(game, net, rng, backend=backend)
+        if float(rng.random()) >= self.epsilon:
+            return self.base.select(game, net, rng, backend=backend)
+        self._explored_last = True
+        candidates = list(range(net.n))
+        rng.shuffle(candidates)
+        for u in candidates:
+            # digest-memoised unhappiness check, as in the greedy policy
+            if not game.is_unhappy(net, u, backend=backend):
+                continue
+            improving = game.improving_moves(net, u, backend=backend)
+            cur = game.current_cost(net, u, backend=backend)
+            move, cost = improving[int(rng.integers(len(improving)))]
+            return BestResponse(u, cur, cost, [move])
+        return None
+
+
+class AdversarialPolicy(MovePolicy):
+    """Replays a cycle-forcing ``(agent, move)`` schedule, looping.
+
+    This is the paper's adversarial scheduler as an activation model:
+    the exact move sequence a proof traces (e.g.
+    ``PaperInstance.cycle_moves()``) is played back ``loop`` times
+    (``loop=None`` loops forever, so the run only stops via
+    ``max_steps`` or cycle detection).
+
+    Every scheduled move is validated when its turn comes:
+
+    * ``require_best_response=True`` (default): the move must be among
+      the agent's best responses — the claim the paper's best-response
+      cycles make.
+    * ``require_best_response=False``: the move must merely be strictly
+      improving (a better-response schedule).
+
+    A schedule that fails validation raises ``RuntimeError`` — exactly
+    what a counterexample test wants to detect.  When the schedule is
+    exhausted the policy reports stability (``None``) like
+    :class:`ScriptedPolicy` does.
+    """
+
+    def __init__(
+        self,
+        schedule: Sequence[Tuple[int, Move]],
+        loop: Optional[int] = 1,
+        require_best_response: bool = True,
+    ):
+        if loop is not None and loop < 1:
+            raise ValueError("loop must be >= 1 (or None for unbounded)")
+        self.schedule: List[Tuple[int, Move]] = [(int(u), m) for u, m in schedule]
+        self.loop = loop
+        self.require_best_response = require_best_response
+        self._pos = 0
+        self._laps = 0
+
+    def reset(self) -> None:
+        self._pos = 0
+        self._laps = 0
+
+    def select(
+        self,
+        game: Game,
+        net: Network,
+        rng: np.random.Generator,
+        backend: Optional[DistanceBackend] = None,
+    ) -> Optional[BestResponse]:
+        """Next scheduled move, validated against the current state."""
+        if not self.schedule:
+            return None
+        if self.loop is not None and self._laps >= self.loop:
+            return None
+        u, move = self.schedule[self._pos]
+        if self.require_best_response:
+            br = game.best_responses(net, u, backend=backend)
+            if not br.is_improving or move not in br.moves:
+                raise RuntimeError(
+                    f"scheduled move {move} of agent {u} (position {self._pos}, "
+                    f"lap {self._laps}) is not a best response"
+                )
+            return BestResponse(u, br.cost_before, br.best_cost, [move])
+        cur = game.current_cost(net, u, backend=backend)
+        cost = game.evaluate_move(net, u, move, backend=backend)
+        if cost >= cur - EPS:
+            raise RuntimeError(
+                f"scheduled move {move} of agent {u} (position {self._pos}, "
+                f"lap {self._laps}) is not improving"
+            )
+        return BestResponse(u, cur, cost, [move])
+
+    def notify(self, agent: int) -> None:
+        self._pos += 1
+        if self._pos >= len(self.schedule):
+            self._pos = 0
+            self._laps += 1

@@ -7,14 +7,16 @@ One module per experiment family:
   move-mix trajectory analysis of Section 4.2.2.
 * :mod:`topology` — Figures 12 and 14 (initial-topology comparison).
 * :mod:`runner` — the seeded sweep engine (serial or multi-process).
+* :mod:`campaign` — the durable, resumable, sharded campaign store.
 * :mod:`report` — ASCII rendering of the papers' plotted series.
 """
 
-from . import asg_budget, density, gbg, report, runner, topology  # noqa: F401
+from . import asg_budget, campaign, density, gbg, report, runner, topology  # noqa: F401
 from .config import ExperimentConfig, FigureSpec
 
 __all__ = [
     "asg_budget",
+    "campaign",
     "density",
     "gbg",
     "topology",

@@ -1,0 +1,419 @@
+"""Durable, resumable, sharded experiment campaigns.
+
+A *campaign* is a figure grid (:class:`FigureSpec`) executed against a
+persistent on-disk store instead of fire-and-forget.  The store records
+every completed ``(cell, trial)`` outcome, so
+
+* **resume**: re-running a killed or partial campaign executes only the
+  missing trials — completed ones are never recomputed;
+* **shard**: independent invocations with ``shard=(i, k)`` split the
+  remaining trials deterministically (trial ``t`` belongs to shard
+  ``t % k``) and may run on different processes or machines sharing the
+  directory; the union of all shards equals the unsharded run;
+* **merge**: aggregates are always computed from the full record set,
+  sorted by ``(cell, trial)``, so they are *byte-identical* no matter
+  how the work was scheduled, interrupted, or sharded.
+
+Those properties rest on the runner's seeding discipline (see
+:func:`repro.experiments.runner.trial_jobs`): a trial's outcome is a
+pure function of ``(config, n, campaign seed, trial index)``.
+
+Store layout (one directory per campaign)::
+
+    <root>/
+      manifest.json         # the campaign's identity: spec grid, seed,
+                            # trials, cell keys — validated on resume
+      trials-<i>of<k>.jsonl # one JSON line per completed trial,
+                            # append-only (kill-safe: a torn final line
+                            # is ignored on load)
+
+``python -m repro campaign`` is the CLI front end (``--resume``,
+``--shard i/k``, ``--status``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.stats import ConvergenceStats
+from .config import ExperimentConfig, FigureSpec
+from .runner import FigureResult, _config_digest, resolve_n_jobs, run_trial, trial_jobs
+
+__all__ = [
+    "CampaignMismatch",
+    "CampaignStore",
+    "CampaignRun",
+    "cell_key",
+    "run_campaign",
+    "campaign_status",
+    "aggregate_records",
+    "aggregate_payload",
+]
+
+STORE_VERSION = 1
+
+
+class CampaignMismatch(RuntimeError):
+    """The directory holds a different campaign than the one requested."""
+
+
+def cell_key(cfg: ExperimentConfig, n: int) -> str:
+    """Stable identifier of one (config, n) cell.
+
+    Built from the same ``repr``-based digest that seeds the trials, so
+    two configs share a key iff they draw identical trial sequences.
+    """
+    return f"{_config_digest(cfg):08x}-n{n}"
+
+
+@dataclass(frozen=True)
+class _CellPlan:
+    key: str
+    series: str
+    cfg: ExperimentConfig
+    n: int
+
+
+def _plan_cells(spec: FigureSpec, n_values: Sequence[int]) -> List[_CellPlan]:
+    plans = []
+    for cfg in spec.configs:
+        for n in n_values:
+            plans.append(_CellPlan(cell_key(cfg, n), cfg.series_name(), cfg, n))
+    return plans
+
+
+def _manifest_for(
+    spec: FigureSpec,
+    seed: int,
+    trials: int,
+    n_values: Sequence[int],
+    max_steps_factor: int,
+    cells: Sequence[_CellPlan],
+) -> dict:
+    return {
+        "version": STORE_VERSION,
+        "figure": spec.figure,
+        "title": spec.title,
+        "seed": seed,
+        "trials": trials,
+        "n_values": list(n_values),
+        "max_steps_factor": max_steps_factor,
+        "cells": [
+            {"key": c.key, "series": c.series, "n": c.n, "cfg": repr(c.cfg)}
+            for c in cells
+        ],
+    }
+
+
+class CampaignStore:
+    """Append-only JSONL record store of one campaign directory."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # -- manifest ----------------------------------------------------------
+    def manifest_path(self) -> Path:
+        return self.root / self.MANIFEST
+
+    def load_manifest(self) -> Optional[dict]:
+        """The stored manifest, or ``None`` for a fresh directory."""
+        path = self.manifest_path()
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def ensure_manifest(self, manifest: dict) -> None:
+        """Write the manifest (fresh store) or validate it (resume).
+
+        Raises :class:`CampaignMismatch` when the directory already
+        holds a campaign with a different grid, seed, or trial count —
+        mixing two campaigns in one store would silently corrupt every
+        aggregate.
+        """
+        existing = self.load_manifest()
+        if existing is not None:
+            if existing != manifest:
+                raise CampaignMismatch(
+                    f"{self.root} holds a different campaign "
+                    f"(stored figure={existing.get('figure')!r} "
+                    f"seed={existing.get('seed')} trials={existing.get('trials')} "
+                    f"n_values={existing.get('n_values')}); use a fresh directory "
+                    "or rerun with the original parameters"
+                )
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        # per-process tmp name: concurrently-launched shards may all
+        # reach this branch, and a shared tmp path would let one racer
+        # os.replace() the other's file away mid-write.  Each writes an
+        # identical manifest, so whichever replace lands last wins.
+        tmp = self.manifest_path().with_name(f".manifest-{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        os.replace(tmp, self.manifest_path())
+
+    # -- trial records -----------------------------------------------------
+    def record_files(self) -> List[Path]:
+        return sorted(self.root.glob("trials-*.jsonl"))
+
+    def load_records(self) -> List[dict]:
+        """All well-formed trial records across every shard file.
+
+        Torn or garbage lines (a kill mid-append, disk-full partial
+        writes) are skipped — append-only JSONL means everything before
+        them is still valid.
+        """
+        records = []
+        for path in self.record_files():
+            with open(path, "r") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(rec, dict) and {"cell", "trial", "steps", "status"} <= rec.keys():
+                        records.append(rec)
+        return records
+
+    def completed_index(self, records: Optional[Iterable[dict]] = None) -> Dict[str, set]:
+        """``cell key -> set of completed trial indices``."""
+        if records is None:
+            records = self.load_records()
+        done: Dict[str, set] = {}
+        for rec in records:
+            done.setdefault(rec["cell"], set()).add(int(rec["trial"]))
+        return done
+
+    def open_writer(self, shard: Tuple[int, int]):
+        """Append-mode handle of this shard's record file.
+
+        If a previous process died mid-append the file ends in a torn
+        half-line; appending straight after it would weld the next
+        record onto the garbage and lose it too.  A newline is stitched
+        in first so the torn fragment stays an isolated bad line (which
+        :meth:`load_records` skips) and every new record starts clean.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"trials-{shard[0]}of{shard[1]}.jsonl"
+        fh = open(path, "a+b")
+        try:
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() > 0:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
+        except OSError:
+            fh.close()
+            raise
+        fh.close()
+        return open(path, "a")
+
+    @staticmethod
+    def append(fh, record: dict) -> None:
+        """Write one record as a single flushed JSON line."""
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.flush()
+
+
+def aggregate_records(
+    spec: FigureSpec,
+    cells: Sequence[_CellPlan],
+    records: Iterable[dict],
+    trials: int,
+) -> FigureResult:
+    """Merge trial records into a :class:`FigureResult`.
+
+    Records are deduplicated on ``(cell, trial)`` and folded in trial
+    order, so the aggregate is a pure function of the completed trial
+    set — identical bytes whether the campaign ran straight through,
+    was resumed five times, or was produced by the union of shards.
+    """
+    by_cell: Dict[str, Dict[int, dict]] = {c.key: {} for c in cells}
+    for rec in records:
+        slot = by_cell.get(rec["cell"])
+        if slot is None:
+            continue  # foreign record (e.g. from an older grid) — ignore
+        idx = int(rec["trial"])
+        if 0 <= idx < trials:
+            slot.setdefault(idx, rec)
+    result = FigureResult(spec)
+    for cell in cells:
+        stats = ConvergenceStats()
+        for idx in sorted(by_cell[cell.key]):
+            rec = by_cell[cell.key][idx]
+            stats.add(int(rec["steps"]), rec["status"] == "converged")
+        result.series.setdefault(cell.series, {})[cell.n] = stats
+    return result
+
+
+def aggregate_payload(result: FigureResult) -> dict:
+    """Canonical JSON payload of an aggregate (for reports and the
+    byte-identity tests): ``{series: {n: stats dict}}``."""
+    return {
+        name: {str(n): stats.as_dict() for n, stats in sorted(per_n.items())}
+        for name, per_n in sorted(result.series.items())
+    }
+
+
+@dataclass
+class CampaignRun:
+    """Outcome of one ``run_campaign`` invocation."""
+
+    result: FigureResult
+    new_trials: int
+    skipped_existing: int
+    remaining: int
+    total: int
+
+    @property
+    def complete(self) -> bool:
+        """Whether every (cell, trial) of the campaign is stored."""
+        return self.remaining == 0
+
+
+def _campaign_trial(args) -> Tuple[str, int, int, str]:
+    key, idx, job = args
+    steps, status = run_trial(job)
+    return key, idx, steps, status
+
+
+def run_campaign(
+    spec: FigureSpec,
+    root,
+    seed: int = 0,
+    trials: Optional[int] = None,
+    n_values: Optional[Sequence[int]] = None,
+    shard: Tuple[int, int] = (0, 1),
+    n_jobs: Optional[int] = None,
+    max_steps_factor: int = 50,
+    max_new_trials: Optional[int] = None,
+    resume: bool = True,
+) -> CampaignRun:
+    """Run (or continue) a campaign of ``spec`` against the store at
+    ``root``.
+
+    Completed ``(cell, trial)`` pairs found in the store are skipped
+    outright; only this shard's missing trials execute (trial ``t``
+    belongs to shard ``i`` of ``k`` iff ``t % k == i``).
+    ``max_new_trials`` caps how many trials this invocation runs — the
+    campaign can be drained in slices of any size.
+
+    ``resume=False`` refuses to touch a store that already holds trial
+    records; it never deletes anything (resumability is the default —
+    the flag exists so scripted fresh runs fail loudly instead of
+    silently absorbing stale results).
+    """
+    i, k = shard
+    if not (0 <= i < k):
+        raise ValueError(f"shard must satisfy 0 <= i < k, got {i}/{k}")
+    use_trials = trials if trials is not None else spec.trials
+    use_ns = tuple(n_values) if n_values is not None else spec.n_values
+    eff_spec = spec.scaled(use_ns, use_trials)
+    cells = _plan_cells(eff_spec, use_ns)
+
+    store = CampaignStore(root)
+    if not resume and store.record_files():
+        raise CampaignMismatch(
+            f"{store.root} already holds trial records; pass resume=True "
+            "(CLI: --resume) to continue it, or choose a fresh directory"
+        )
+    store.ensure_manifest(
+        _manifest_for(eff_spec, seed, use_trials, use_ns, max_steps_factor, cells)
+    )
+
+    done = store.completed_index()
+    pending: List[tuple] = []
+    skipped = 0
+    total = len(cells) * use_trials
+    for cell in cells:
+        jobs = trial_jobs(cell.cfg, cell.n, use_trials, seed, max_steps_factor)
+        cell_done = done.get(cell.key, set())
+        for idx, job in enumerate(jobs):
+            if idx in cell_done:
+                skipped += 1
+            elif idx % k == i:
+                pending.append((cell.key, idx, job))
+    if max_new_trials is not None:
+        pending = pending[:max_new_trials]
+
+    n_jobs = resolve_n_jobs(n_jobs, len(pending))
+    new = 0
+    if pending:
+        with store.open_writer(shard) as fh:
+            if n_jobs <= 1:
+                for task in pending:
+                    key, idx, steps, status = _campaign_trial(task)
+                    store.append(
+                        fh, {"cell": key, "trial": idx, "steps": steps, "status": status}
+                    )
+                    new += 1
+            else:
+                with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                    for key, idx, steps, status in pool.map(
+                        _campaign_trial, pending, chunksize=8
+                    ):
+                        store.append(
+                            fh,
+                            {"cell": key, "trial": idx, "steps": steps, "status": status},
+                        )
+                        new += 1
+
+    records = store.load_records()
+    result = aggregate_records(eff_spec, cells, records, use_trials)
+    done_now = sum(
+        len({t for t in idxs if 0 <= t < use_trials})
+        for key, idxs in store.completed_index(records).items()
+        if key in {c.key for c in cells}
+    )
+    return CampaignRun(
+        result=result,
+        new_trials=new,
+        skipped_existing=skipped,
+        remaining=total - done_now,
+        total=total,
+    )
+
+
+def campaign_status(root) -> dict:
+    """Progress summary of the store at ``root`` (no trials are run).
+
+    Returns ``{"total", "done", "remaining", "complete", "cells":
+    {key: {"series", "n", "done", "trials"}}}``; raises
+    ``FileNotFoundError`` when no manifest exists.
+    """
+    store = CampaignStore(root)
+    manifest = store.load_manifest()
+    if manifest is None:
+        raise FileNotFoundError(f"no campaign manifest under {store.root}")
+    trials = int(manifest["trials"])
+    done = store.completed_index()
+    cells = {}
+    total_done = 0
+    for cell in manifest["cells"]:
+        key = cell["key"]
+        count = len({t for t in done.get(key, set()) if 0 <= t < trials})
+        total_done += count
+        cells[key] = {
+            "series": cell["series"],
+            "n": cell["n"],
+            "done": count,
+            "trials": trials,
+        }
+    total = len(manifest["cells"]) * trials
+    return {
+        "figure": manifest["figure"],
+        "seed": manifest["seed"],
+        "total": total,
+        "done": total_done,
+        "remaining": total - total_done,
+        "complete": total_done == total,
+        "cells": cells,
+    }

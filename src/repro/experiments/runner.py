@@ -37,6 +37,8 @@ __all__ = [
     "build_policy",
     "build_initial",
     "resolve_n_jobs",
+    "trial_jobs",
+    "run_trial",
     "run_cell",
     "run_figure",
     "FigureResult",
@@ -105,7 +107,34 @@ def _config_digest(cfg: ExperimentConfig) -> int:
     return zlib.crc32(repr(cfg).encode())
 
 
-def _one_trial(args) -> Tuple[int, bool]:
+def trial_jobs(
+    cfg: ExperimentConfig, n: int, trials: int, seed: int, max_steps_factor: int = 50
+) -> List[tuple]:
+    """Per-trial job tuples for one (config, n) cell.
+
+    Trial ``i``'s seed derives from ``SeedSequence(seed, digest(cfg),
+    n).spawn(trials)[i]`` — a pure function of ``(cfg, n, seed, i)``,
+    independent of worker scheduling, sharding, or which other trials
+    run in the same process.  This is the property the campaign store's
+    resume/shard semantics rest on: running any subset of trials in any
+    order produces exactly the per-trial outcomes of a full run.
+    """
+    max_steps = max_steps_factor * n
+    root = np.random.SeedSequence(entropy=(seed, _config_digest(cfg), n))
+    children = root.spawn(trials)
+    return [
+        (cfg, n, max_steps, (tuple(np.atleast_1d(c.entropy).tolist()), c.spawn_key))
+        for c in children
+    ]
+
+
+def run_trial(args) -> Tuple[int, str]:
+    """Execute one trial job; returns ``(steps, status)``.
+
+    ``status`` is the :class:`~repro.core.dynamics.RunResult` status
+    (``"converged"`` or ``"exhausted"`` — sweeps run without cycle
+    detection, so a cycling run simply exhausts its step cap).
+    """
     cfg, n, max_steps, (entropy, spawn_key) = args
     ss = np.random.SeedSequence(entropy=list(entropy), spawn_key=spawn_key)
     rng = np.random.default_rng(ss)
@@ -116,7 +145,7 @@ def _one_trial(args) -> Tuple[int, bool]:
         game, net, policy, max_steps=max_steps, rng=rng,
         record_trajectory=False, copy_initial=False, backend=cfg.backend,
     )
-    return result.steps, result.converged
+    return result.steps, result.status
 
 
 def run_cell(
@@ -137,23 +166,17 @@ def run_cell(
     see :func:`resolve_n_jobs`; trial seeds are scheduling-independent,
     so the statistics are identical at every worker count.
     """
-    max_steps = max_steps_factor * n
     n_jobs = resolve_n_jobs(n_jobs, trials)
-    root = np.random.SeedSequence(entropy=(seed, _config_digest(cfg), n))
-    children = root.spawn(trials)
-    jobs = [
-        (cfg, n, max_steps, (tuple(np.atleast_1d(c.entropy).tolist()), c.spawn_key))
-        for c in children
-    ]
+    jobs = trial_jobs(cfg, n, trials, seed, max_steps_factor)
     stats = ConvergenceStats()
     if n_jobs <= 1:
         for job in jobs:
-            steps, ok = _one_trial(job)
-            stats.add(steps, ok)
+            steps, status = run_trial(job)
+            stats.add(steps, status == "converged")
     else:
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            for steps, ok in pool.map(_one_trial, jobs, chunksize=8):
-                stats.add(steps, ok)
+            for steps, status in pool.map(run_trial, jobs, chunksize=8):
+                stats.add(steps, status == "converged")
     return stats
 
 

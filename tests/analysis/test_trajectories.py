@@ -3,11 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.analysis.trajectories import summarize, trace_run
+from repro.analysis.trajectories import annotate_cycle, summarize, trace_run
 from repro.core.dynamics import run_dynamics
 from repro.core.games import GreedyBuyGame, SwapGame
-from repro.core.policies import MaxCostPolicy, RandomPolicy
+from repro.core.policies import AdversarialPolicy, MaxCostPolicy, RandomPolicy
 from repro.graphs.generators import path_network, random_m_edge_network
+from repro.instances.figures import fig3_sum_asg_cycle
 
 
 class TestTraceRun:
@@ -57,3 +58,67 @@ class TestTraceRun:
         assert s["social_cost_final"] <= s["social_cost_initial"]
         assert s["edges_initial"] == s["edges_final"] == 7  # swaps preserve m
         assert s["distinct_movers"] >= 1
+
+
+class TestAnnotateCycle:
+    """Cycle information recovered from traces recorded *without* live
+    cycle detection — the regime of stored campaign/sweep traces."""
+
+    def test_replayed_trace_gets_meaningful_cycle_fields(self):
+        inst = fig3_sum_asg_cycle()
+        # three laps around the proof's cycle, recorded blind
+        res = run_dynamics(
+            inst.game, inst.network, AdversarialPolicy(inst.moves(), loop=3),
+            seed=0, max_steps=100, detect_cycles=False,
+        )
+        assert not res.cycled and res.cycle_length is None  # blind run
+        ann = annotate_cycle(inst.network, res)
+        assert ann.cycled
+        assert ann.cycle_start == 0
+        assert ann.cycle_end == len(inst.cycle)  # revisit found mid-trace
+        assert ann.cycle_length == len(inst.cycle)
+        # the original result is untouched; the annotated copy shares
+        # the trajectory
+        assert not res.cycled
+        assert ann.trajectory is res.trajectory
+
+    def test_annotation_matches_live_detection(self):
+        inst = fig3_sum_asg_cycle()
+        blind = run_dynamics(
+            inst.game, inst.network, AdversarialPolicy(inst.moves(), loop=None),
+            seed=0, max_steps=100, detect_cycles=False,
+        )
+        live = run_dynamics(
+            inst.game, inst.network, AdversarialPolicy(inst.moves(), loop=None),
+            seed=0, max_steps=100, detect_cycles=True,
+        )
+        ann = annotate_cycle(inst.network, blind)
+        assert live.cycled and ann.cycled
+        assert ann.cycle_start == live.cycle_start
+        assert ann.cycle_length == live.cycle_length
+
+    def test_acyclic_trace_returned_unchanged(self):
+        net = path_network(8)
+        game = SwapGame("sum")
+        res = run_dynamics(game, net, MaxCostPolicy(), seed=1)
+        assert annotate_cycle(net, res) is res
+
+    def test_unrecorded_trajectory_raises(self):
+        """Sweep-style results (record_trajectory=False) have no moves
+        to replay — claiming them acyclic would be silently wrong."""
+        net = path_network(8)
+        game = SwapGame("sum")
+        res = run_dynamics(game, net, MaxCostPolicy(), seed=1,
+                           record_trajectory=False)
+        assert res.steps > 0
+        with pytest.raises(ValueError, match="no trajectory"):
+            annotate_cycle(net, res)
+
+    def test_live_detection_populates_cycle_end(self):
+        inst = fig3_sum_asg_cycle()
+        live = run_dynamics(
+            inst.game, inst.network, AdversarialPolicy(inst.moves(), loop=None),
+            seed=0, max_steps=100, detect_cycles=True,
+        )
+        assert live.cycle_end == live.steps
+        assert live.cycle_length == live.cycle_end - live.cycle_start

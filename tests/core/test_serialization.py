@@ -6,8 +6,42 @@ import numpy as np
 import pytest
 
 from repro.__main__ import main
+from repro.core.moves import (
+    Buy,
+    Delete,
+    StrategyChange,
+    Swap,
+    move_from_dict,
+    move_to_dict,
+)
 from repro.core.network import Network
 from repro.instances.figures import ALL_INSTANCES
+
+
+class TestMoveRoundTrip:
+    @pytest.mark.parametrize("move", [
+        Swap(3, 1, 5),
+        Buy(0, 7),
+        Delete(2, 4),
+        StrategyChange(1, frozenset({0, 3, 5})),
+        StrategyChange(4, frozenset(), bilateral=True),
+    ])
+    def test_round_trip(self, move):
+        payload = json.dumps(move_to_dict(move))
+        assert move_from_dict(json.loads(payload)) == move
+
+    def test_instance_cycles_round_trip(self):
+        for name in ("fig2", "fig3", "fig9", "fig15"):
+            for _, move in ALL_INSTANCES[name]().moves():
+                assert move_from_dict(move_to_dict(move)) == move
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown move op"):
+            move_from_dict({"op": "teleport", "agent": 0})
+
+    def test_non_move_rejected(self):
+        with pytest.raises(TypeError):
+            move_to_dict({"agent": 0})
 
 
 class TestRoundTrip:

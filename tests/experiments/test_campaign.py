@@ -1,0 +1,183 @@
+"""Campaign store semantics: resume, sharding, kill-safety, aggregates.
+
+The contract under test (see :mod:`repro.experiments.campaign`):
+
+* an interrupted campaign resumes with **zero recomputed trials** and
+  its final aggregate is **byte-identical** to an uninterrupted run;
+* the union of ``--shard i/k`` runs equals the unsharded result;
+* a torn trailing record (kill mid-append) is ignored without losing
+  the completed prefix;
+* a store never silently mixes two different campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignMismatch,
+    CampaignStore,
+    aggregate_payload,
+    campaign_status,
+    cell_key,
+    run_campaign,
+)
+from repro.experiments.config import ExperimentConfig, FigureSpec
+
+
+def tiny_spec() -> FigureSpec:
+    """A two-series, two-n grid small enough for dozens of runs."""
+    return FigureSpec(
+        figure="figT",
+        title="campaign test grid",
+        configs=(
+            ExperimentConfig(game="asg", mode="sum", policy="maxcost", topology="budget", budget=1),
+            ExperimentConfig(game="gbg", mode="sum", policy="random", topology="random",
+                             m_edges="2n", alpha="n/4"),
+        ),
+        n_values=(8, 10),
+        trials=6,
+    )
+
+
+def payload_bytes(run) -> bytes:
+    return json.dumps(aggregate_payload(run.result), sort_keys=True).encode()
+
+
+def test_uninterrupted_campaign_completes_and_aggregates(tmp_path):
+    run = run_campaign(tiny_spec(), tmp_path / "c", seed=1, n_jobs=1)
+    assert run.complete
+    assert run.new_trials == run.total == 4 * 6
+    assert run.skipped_existing == 0
+    agg = aggregate_payload(run.result)
+    assert all(cell["trials"] == 6 for series in agg.values() for cell in series.values())
+
+
+def test_resume_recomputes_nothing_and_aggregate_is_byte_identical(tmp_path):
+    spec = tiny_spec()
+    reference = run_campaign(spec, tmp_path / "full", seed=1, n_jobs=1)
+
+    # interrupted run: three slices, killed after 5, then 9 more, then the rest
+    root = tmp_path / "sliced"
+    first = run_campaign(spec, root, seed=1, n_jobs=1, max_new_trials=5)
+    assert (first.new_trials, first.skipped_existing) == (5, 0)
+    second = run_campaign(spec, root, seed=1, n_jobs=1, max_new_trials=9)
+    assert (second.new_trials, second.skipped_existing) == (9, 5)
+    third = run_campaign(spec, root, seed=1, n_jobs=1)
+    assert third.new_trials == reference.total - 14
+    assert third.skipped_existing == 14
+    assert third.complete
+
+    # a fourth invocation recomputes zero trials
+    fourth = run_campaign(spec, root, seed=1, n_jobs=1)
+    assert fourth.new_trials == 0
+    assert fourth.skipped_existing == fourth.total
+
+    assert payload_bytes(third) == payload_bytes(reference)
+    assert payload_bytes(fourth) == payload_bytes(reference)
+
+
+def test_shard_union_equals_unsharded_run(tmp_path):
+    spec = tiny_spec()
+    reference = run_campaign(spec, tmp_path / "full", seed=2, n_jobs=1)
+
+    root = tmp_path / "sharded"
+    s0 = run_campaign(spec, root, seed=2, n_jobs=1, shard=(0, 3))
+    s1 = run_campaign(spec, root, seed=2, n_jobs=1, shard=(1, 3))
+    assert not s1.complete  # shard 2/3 still missing
+    s2 = run_campaign(spec, root, seed=2, n_jobs=1, shard=(2, 3))
+    assert s2.complete
+    assert s0.new_trials + s1.new_trials + s2.new_trials == reference.total
+    assert payload_bytes(s2) == payload_bytes(reference)
+    # three shard files exist, one per shard label
+    assert sorted(p.name for p in CampaignStore(root).record_files()) == [
+        "trials-0of3.jsonl", "trials-1of3.jsonl", "trials-2of3.jsonl",
+    ]
+
+
+def test_torn_trailing_line_is_ignored_and_resume_refills(tmp_path):
+    spec = tiny_spec()
+    root = tmp_path / "torn"
+    run_campaign(spec, root, seed=3, n_jobs=1, max_new_trials=7)
+    store = CampaignStore(root)
+    [shard_file] = store.record_files()
+
+    # simulate a kill mid-append: tear the last record in half
+    text = shard_file.read_text()
+    lines = text.splitlines(keepends=True)
+    shard_file.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+    assert len(store.load_records()) == 6  # torn record dropped, prefix kept
+
+    reference = run_campaign(spec, tmp_path / "full", seed=3, n_jobs=1)
+    resumed = run_campaign(spec, root, seed=3, n_jobs=1)
+    assert resumed.complete
+    assert resumed.skipped_existing == 6  # only the 6 intact records survived
+    assert payload_bytes(resumed) == payload_bytes(reference)
+
+
+def test_status_reports_progress(tmp_path):
+    spec = tiny_spec()
+    root = tmp_path / "st"
+    run_campaign(spec, root, seed=4, n_jobs=1, max_new_trials=5)
+    status = campaign_status(root)
+    assert status["total"] == 24 and status["done"] == 5 and not status["complete"]
+    run_campaign(spec, root, seed=4, n_jobs=1)
+    status = campaign_status(root)
+    assert status["complete"] and status["remaining"] == 0
+    assert all(c["done"] == c["trials"] for c in status["cells"].values())
+
+
+def test_status_without_manifest_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        campaign_status(tmp_path / "nope")
+
+
+def test_mismatched_campaign_is_refused(tmp_path):
+    spec = tiny_spec()
+    root = tmp_path / "c"
+    run_campaign(spec, root, seed=5, n_jobs=1, max_new_trials=2)
+    with pytest.raises(CampaignMismatch):
+        run_campaign(spec, root, seed=6, n_jobs=1)  # different seed
+    with pytest.raises(CampaignMismatch):
+        run_campaign(spec, root, seed=5, trials=9, n_jobs=1)  # different grid
+
+
+def test_fresh_run_refuses_existing_records_without_resume(tmp_path):
+    spec = tiny_spec()
+    root = tmp_path / "c"
+    run_campaign(spec, root, seed=7, n_jobs=1, max_new_trials=2, resume=False)
+    with pytest.raises(CampaignMismatch):
+        run_campaign(spec, root, seed=7, n_jobs=1, resume=False)
+    # with resume it continues fine
+    assert run_campaign(spec, root, seed=7, n_jobs=1, resume=True).complete
+
+
+def test_invalid_shard_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        run_campaign(tiny_spec(), tmp_path / "c", shard=(3, 3), n_jobs=1)
+
+
+def test_cell_key_ignores_backend_field():
+    """The backend must never change which trials a cell draws — it is
+    excluded from the config repr, hence from the cell key."""
+    a = ExperimentConfig(game="asg", mode="sum", policy="maxcost", budget=1)
+    b = ExperimentConfig(game="asg", mode="sum", policy="maxcost", budget=1,
+                         backend="dense")
+    assert cell_key(a, 10) == cell_key(b, 10)
+
+
+def test_campaign_matches_run_cell_statistics(tmp_path):
+    """The store pipeline produces exactly the statistics run_cell
+    computes directly — same trials, same seeds, same outcomes."""
+    from repro.experiments.runner import run_cell
+
+    spec = tiny_spec()
+    run = run_campaign(spec, tmp_path / "c", seed=8, n_jobs=1)
+    for cfg in spec.configs:
+        for n in spec.n_values:
+            direct = run_cell(cfg, n, trials=spec.trials, seed=8, n_jobs=1)
+            stored = run.result.series[cfg.series_name()][n]
+            assert stored.steps == direct.steps
+            assert stored.non_converged == direct.non_converged

@@ -146,3 +146,38 @@ class TestRunFigureAndReport:
                         figure12_spec, figure13_spec, figure14_spec):
             spec = spec_fn()
             assert spec.configs and spec.n_values and spec.trials
+
+
+class TestExhaustedAccounting:
+    """``status == "exhausted"`` runs must land in ``non_converged`` and
+    flow through to ``FigureResult.non_converged_total``."""
+
+    def test_non_converged_total_counts_exhausted_cells(self):
+        from repro.analysis.stats import ConvergenceStats
+        from repro.experiments.runner import FigureResult
+
+        spec = figure7_spec(budgets=(1,), n_values=(10,), trials=4)
+        result = FigureResult(spec)
+        ok = ConvergenceStats()
+        ok.add(5, True)
+        ok.add(7, True)
+        capped = ConvergenceStats()
+        capped.add(500, False)  # hit the step cap → exhausted
+        capped.add(3, True)
+        result.series["a"] = {10: ok}
+        result.series["b"] = {10: capped, 14: capped}
+        assert result.non_converged_total() == 2
+        assert "NON-CONVERGED RUNS: 2" in format_figure(result, "max")
+
+    def test_step_cap_produces_exhausted_trials_end_to_end(self):
+        """A zero step budget exhausts every trial; the runner reports
+        them all as non-converged, none as steps."""
+        from repro.experiments.runner import run_trial, trial_jobs
+
+        cfg = ExperimentConfig("asg", "sum", "maxcost", topology="budget", budget=1)
+        for job in trial_jobs(cfg, 8, trials=3, seed=0, max_steps_factor=0):
+            steps, status = run_trial(job)
+            assert status == "exhausted" and steps == 0
+        stats = run_cell(cfg, 8, trials=3, seed=0, max_steps_factor=0, n_jobs=1)
+        assert stats.non_converged == stats.trials == 3
+        assert stats.steps == []

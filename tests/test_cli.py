@@ -41,6 +41,44 @@ class TestExperiment:
         assert main(["experiment", "fig99"]) == 2
 
 
+class TestCampaign:
+    def test_campaign_runs_resumes_and_reports(self, capsys, tmp_path):
+        base = ["campaign", "fig7", "--trials", "2", "--n", "10",
+                "--jobs", "1", "--results-dir", str(tmp_path)]
+        assert main(base + ["--max-trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ran 3 new trials" in out and "partial aggregate" in out
+
+        assert main(base + ["--status"]) == 0
+        out = capsys.readouterr().out
+        assert "3/12 trials done" in out
+
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped 3 already stored" in out and "0/12 remaining" in out
+        assert "k=1, max cost" in out  # complete → tables printed
+
+        # refusing to clobber without --resume
+        assert main(base) == 2
+        assert "already holds trial records" in capsys.readouterr().out
+
+    def test_campaign_sharded(self, capsys, tmp_path):
+        base = ["campaign", "fig7", "--trials", "2", "--n", "10",
+                "--jobs", "1", "--results-dir", str(tmp_path)]
+        assert main(base + ["--shard", "0/2"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--shard", "1/2", "--resume"]) == 0
+        assert "0/12 remaining" in capsys.readouterr().out
+
+    def test_campaign_unknown_figure(self, capsys, tmp_path):
+        assert main(["campaign", "fig99", "--results-dir", str(tmp_path)]) == 2
+
+    def test_campaign_status_without_store(self, capsys, tmp_path):
+        assert main(["campaign", "fig7", "--status",
+                     "--results-dir", str(tmp_path)]) == 1
+        assert "no campaign under" in capsys.readouterr().out
+
+
 class TestClassify:
     def test_classify_fig3_br(self, capsys):
         rc = main(["classify", "fig3", "--best-response"])
