@@ -1,10 +1,15 @@
 #!/usr/bin/env python
 """Quickstart: run selfish network creation dynamics to convergence.
 
-Builds a random bounded-budget network (every agent owns exactly two
-edges), runs the SUM Asymmetric Swap Game under the paper's max cost
-policy, and inspects the outcome: step count, the move trace, the final
-stable network, and the social cost before/after.
+Two layers of the same API:
+
+1. the **core layer** — build a game/network/policy by hand and call
+   ``run_dynamics`` (full control, used by the theory tests);
+2. the **scenario layer** — declare the whole experiment as a
+   registry-validated :class:`repro.ScenarioSpec`, run it with one
+   call, and get a metrics record back.  The spec is JSON
+   round-trippable, so the exact same object drives ``repro run``,
+   ``repro experiment`` and the durable ``repro campaign`` store.
 
 Usage::
 
@@ -16,15 +21,16 @@ import sys
 from repro import (
     AsymmetricSwapGame,
     MaxCostPolicy,
+    ScenarioSpec,
     random_budget_network,
     run_dynamics,
-    social_cost,
 )
-from repro.core.costs import DistanceMode
+from repro.experiments.runner import run_scenario
 from repro.graphs import adjacency as adj
 
 
-def main(n: int = 30, budget: int = 2, seed: int = 7) -> None:
+def core_layer(n: int, budget: int, seed: int) -> None:
+    """The hand-assembled run: explicit game, network, policy."""
     net = random_budget_network(n, budget, seed=seed)
     game = AsymmetricSwapGame("sum")
 
@@ -46,6 +52,47 @@ def main(n: int = 30, budget: int = 2, seed: int = 7) -> None:
           f"social distance cost={game.social_cost(final):.0f}")
     assert game.is_stable(final), "converged state must be a pure Nash equilibrium"
     print("verified: no agent has an improving move (pure Nash equilibrium).")
+
+
+def scenario_layer(n: int, budget: int, seed: int) -> None:
+    """The same experiment — and one the legacy API could not express —
+    as declarative, serializable scenario specs."""
+    spec = ScenarioSpec(
+        game="asg",
+        game_params={"mode": "sum"},
+        policy="maxcost",
+        topology="budget",
+        topology_params={"budget": budget},
+        metrics=("steps", "status", "social_cost", "diameter", "cost_ratio"),
+    )
+    record, _ = run_scenario(spec, n, seed=seed)
+    print(f"\nscenario {spec.game}/{spec.policy}/{spec.dynamics}/{spec.topology}: "
+          f"{record.status} after {record.steps} steps")
+    for name, value in record.extra_metrics().items():
+        print(f"  {name} = {value:.2f}" if isinstance(value, float)
+              else f"  {name} = {value}")
+
+    # the spec is plain JSON — ship it to a campaign, a worker, a file
+    assert ScenarioSpec.from_json_str(spec.json_str()) == spec
+
+    # beyond the legacy surface: simultaneous rounds, noisy best
+    # response, tree start — one field each
+    novel = spec.with_(
+        game="gbg", game_params={"mode": "sum", "alpha": "n/4"},
+        policy="noisy", policy_params={"epsilon": 0.1},
+        dynamics="simultaneous", topology="tree", topology_params={},
+        metrics=("steps", "status", "rounds", "social_cost"),
+    )
+    record, _ = run_scenario(novel, n, seed=seed)
+    print(f"novel scenario {novel.game}/{novel.policy}/{novel.dynamics}/"
+          f"{novel.topology}: {record.status} after {record.steps} steps "
+          f"in {record.rounds} rounds, "
+          f"social cost {record.metrics['social_cost']:.0f}")
+
+
+def main(n: int = 30, budget: int = 2, seed: int = 7) -> None:
+    core_layer(n, budget, seed)
+    scenario_layer(n, budget, seed)
 
 
 if __name__ == "__main__":

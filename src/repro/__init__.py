@@ -23,6 +23,7 @@ True
 
 from .core import (
     EPS,
+    AdversarialPolicy,
     AsymmetricSwapGame,
     BestResponse,
     BilateralGame,
@@ -34,13 +35,18 @@ from .core import (
     FirstUnhappyPolicy,
     Game,
     GreedyBuyGame,
+    GreedyImprovementPolicy,
     MaxCostPolicy,
     MovePolicy,
     Network,
+    NoisyBestResponsePolicy,
     RandomPolicy,
+    RoundRecord,
     RoundRobinPolicy,
     RunResult,
     ScriptedPolicy,
+    SimultaneousDynamics,
+    SimultaneousResult,
     StepRecord,
     StrategyChange,
     Swap,
@@ -50,6 +56,7 @@ from .core import (
     cost_vector,
     move_kind,
     run_dynamics,
+    run_simultaneous_dynamics,
     social_cost,
 )
 from .graphs.generators import (
@@ -61,8 +68,17 @@ from .graphs.generators import (
     random_tree_network,
     star_network,
 )
+from .registry import (
+    CATEGORIES,
+    REGISTRY,
+    Component,
+    Param,
+    Registry,
+    ScenarioSpec,
+    as_scenario,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -92,10 +108,25 @@ __all__ = [
     "FirstUnhappyPolicy",
     "RoundRobinPolicy",
     "ScriptedPolicy",
+    "GreedyImprovementPolicy",
+    "NoisyBestResponsePolicy",
+    "AdversarialPolicy",
     "run_dynamics",
+    "run_simultaneous_dynamics",
     "RunResult",
     "StepRecord",
+    "RoundRecord",
+    "SimultaneousDynamics",
+    "SimultaneousResult",
     "choose_move",
+    # registry / scenario API
+    "REGISTRY",
+    "Registry",
+    "Component",
+    "Param",
+    "CATEGORIES",
+    "ScenarioSpec",
+    "as_scenario",
     # generators
     "random_budget_network",
     "random_m_edge_network",

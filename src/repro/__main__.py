@@ -4,13 +4,20 @@ Commands
 --------
 ``verify [figures...]``
     Machine-check the paper's counterexample instances (default: all).
-``run --game asg --mode sum --policy maxcost --n 30 ...``
-    One dynamics run with a summary of the outcome.
+``scenarios [category] [--json]``
+    List every registered game / policy / dynamics kind / topology /
+    metric with its parameter schema.
+``run --game gbg --policy greedy --topology tree --param alpha=n/4 ...``
+    One dynamics run of any registered scenario, with chosen metrics.
+    Component choices and ``--param`` names come from the registry.
 ``experiment fig7 [--trials T] [--n 10,20,30] [--full]``
     A figure grid of the empirical study, printed as the paper's series.
+    ``--spec FILE`` runs a JSON scenario (or list of scenarios) instead.
 ``campaign fig7 [--resume] [--shard i/k] [--status] ...``
     A figure grid against the durable campaign store: interrupted runs
     resume with zero recomputation, shards merge byte-identically.
+    ``--spec FILE`` campaigns over JSON scenarios; stored rows carry the
+    scenarios' metric payloads.
 ``classify [figures...]``
     Exhaustive reachable-dynamics classification of instance states.
 """
@@ -45,35 +52,140 @@ def cmd_verify(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_scenarios(args) -> int:
+    """``repro scenarios``: list/describe the registered components."""
+    import json
+
+    from .registry import REGISTRY
+
+    categories = [args.category] if args.category else list(REGISTRY.categories())
+    for c in categories:
+        if c not in REGISTRY.categories():
+            print(f"unknown category {c!r} (choose from {', '.join(REGISTRY.categories())})")
+            return 2
+    if args.json:
+        full = REGISTRY.describe()
+        print(json.dumps({c: full[c] for c in categories}, indent=2, sort_keys=True))
+        return 0
+    for category in categories:
+        names = REGISTRY.names(category)
+        print(f"{category} ({len(names)}):")
+        for name in names:
+            print(f"  {REGISTRY.get(category, name).schema_line()}")
+        print()
+    print("compose a scenario with: repro run --game G --policy P --topology T "
+          "--dynamics D --metrics m1,m2 --param k=v")
+    return 0
+
+
+def _parse_param_flags(param_flags, spec_axes):
+    """Route ``--param k=v`` flags to the axis that declares ``k``.
+
+    ``spec_axes`` is ``{category: component}``.  A bare ``k=v`` goes to
+    the unique axis declaring ``k``; ambiguous or unknown names must be
+    qualified as ``category.k=v``.  Returns ``{category: {k: v}}``.
+    """
+    routed = {c: {} for c in spec_axes}
+    for flag in param_flags or []:
+        if "=" not in flag:
+            raise ValueError(f"--param expects k=v, got {flag!r}")
+        key, value = flag.split("=", 1)
+        if "." in key:
+            category, key = key.split(".", 1)
+            if category not in spec_axes:
+                raise ValueError(
+                    f"--param {flag!r}: unknown axis {category!r} "
+                    f"(choose from {', '.join(spec_axes)})"
+                )
+            routed[category][key] = value
+            continue
+        owners = [c for c, comp in spec_axes.items() if comp.param(key)]
+        if not owners:
+            declared = {
+                c: [p.name for p in comp.params] for c, comp in spec_axes.items()
+            }
+            raise ValueError(
+                f"--param {flag!r}: no selected component declares {key!r} "
+                f"(declared: {declared})"
+            )
+        if len(owners) > 1:
+            raise ValueError(
+                f"--param {flag!r}: {key!r} is declared by {' and '.join(owners)}; "
+                f"qualify it as {owners[0]}.{key}=..."
+            )
+        routed[owners[0]][key] = value
+    return routed
+
+
+def _spec_from_run_args(args):
+    """Build the ScenarioSpec a ``repro run`` invocation describes."""
+    from .registry import REGISTRY, ScenarioSpec
+
+    # infer the paper's default start for the chosen game when no
+    # topology was given: bounded budget for swap games, m-edge random
+    # networks for buy games
+    topology = args.topology
+    if topology is None:
+        topology = "budget" if args.game in ("sg", "asg") else "random"
+    axes = {
+        "game": REGISTRY.get("game", args.game),
+        "policy": REGISTRY.get("policy", args.policy),
+        "dynamics": REGISTRY.get("dynamics", args.dynamics),
+        "topology": REGISTRY.get("topology", topology),
+    }
+    params = _parse_param_flags(args.param, axes)
+    # legacy convenience flags fold into the axis params; --alpha is
+    # attached only to games that price edges (swap games accepted and
+    # ignored it pre-registry, so keep accepting it)
+    params["game"].setdefault("mode", args.mode)
+    if args.alpha is not None and axes["game"].param("alpha"):
+        params["game"].setdefault("alpha", str(args.alpha))
+    if topology == "budget":
+        params["topology"].setdefault("budget", args.budget)
+    if topology == "random":
+        if args.m is not None:
+            params["topology"].setdefault("m_edges", str(args.m))
+        elif args.topology is None:
+            params["topology"].setdefault("m_edges", str(2 * args.n))
+    if args.game in ("gbg", "bg", "bilateral"):
+        params["game"].setdefault("alpha", str(args.n / 4))
+    metrics = tuple(args.metrics.split(",")) if args.metrics else (
+        "steps", "status", "social_cost", "diameter")
+    return ScenarioSpec(
+        game=args.game, policy=args.policy, topology=topology,
+        dynamics=args.dynamics, game_params=params["game"],
+        policy_params=params["policy"], topology_params=params["topology"],
+        dynamics_params=params["dynamics"], metrics=metrics,
+    )
+
+
 def cmd_run(args) -> int:
     """``repro run``: one dynamics run with an outcome summary."""
-    import numpy as np
+    from .experiments.runner import run_scenario
 
-    from .core.dynamics import run_dynamics
-    from .core.games import AsymmetricSwapGame, GreedyBuyGame, SwapGame
-    from .core.policies import MaxCostPolicy, RandomPolicy
-    from .graphs import adjacency as adj
-    from .graphs.generators import random_budget_network, random_m_edge_network
-
-    if args.game == "asg":
-        game = AsymmetricSwapGame(args.mode)
-        net = random_budget_network(args.n, args.budget, seed=args.seed)
-    elif args.game == "sg":
-        game = SwapGame(args.mode)
-        net = random_budget_network(args.n, args.budget, seed=args.seed)
-    elif args.game == "gbg":
-        alpha = args.alpha if args.alpha is not None else args.n / 4
-        game = GreedyBuyGame(args.mode, alpha=alpha)
-        net = random_m_edge_network(args.n, args.m or 2 * args.n, seed=args.seed)
-    else:
-        print(f"unknown game {args.game!r}")
+    try:
+        spec = _spec_from_run_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}")
         return 2
-    policy = MaxCostPolicy() if args.policy == "maxcost" else RandomPolicy()
-    result = run_dynamics(game, net, policy, seed=args.seed, max_steps=50 * args.n)
-    print(f"{result.status} after {result.steps} steps "
-          f"(5n = {5 * args.n}); final diameter "
-          f"{adj.diameter(result.final.A):.0f}; move mix {dict(result.move_counts)}")
-    return 0 if result.converged else 1
+    from .registry import REGISTRY
+
+    dynamics = REGISTRY.build("dynamics", spec.dynamics, spec.params_for("dynamics"))
+    if not dynamics.uses_policy and (spec.policy != "maxcost" or spec.policy_params):
+        print(f"note: {spec.dynamics} dynamics activates every unhappy agent "
+              f"itself — the {spec.policy!r} policy is not consulted")
+    record, outcome = run_scenario(spec, args.n, seed=args.seed,
+                                   max_steps=50 * args.n)
+    rounds = f", {record.rounds} rounds" if record.rounds is not None else ""
+    print(f"{spec.game}/{spec.policy}/{spec.dynamics}/{spec.topology} "
+          f"n={args.n}: {record.status} after {record.steps} steps{rounds} "
+          f"(5n = {5 * args.n})")
+    for name, value in record.metrics.items():
+        if name in ("steps", "status"):
+            continue
+        shown = f"{value:.3f}" if isinstance(value, float) else value
+        print(f"  {name} = {shown}")
+    return 0 if record.converged else 1
 
 
 def _figure_specs():
@@ -87,18 +199,72 @@ def _figure_specs():
     }
 
 
+def _load_spec_grid(path: str):
+    """A FigureSpec built from a scenario JSON file.
+
+    The file holds one scenario object or a list of them (series); the
+    grid's name derives from the scenarios' digests, so distinct specs
+    get distinct campaign directories.
+    """
+    import json
+
+    from .experiments.config import FigureSpec
+    from .registry import ScenarioSpec
+
+    import zlib
+
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise ValueError(f"cannot read spec file {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"spec file {path!r} is not valid JSON: {exc}") from None
+    entries = payload if isinstance(payload, list) else [payload]
+    if not entries:
+        raise ValueError(f"spec file {path!r} holds no scenarios")
+    specs = tuple(ScenarioSpec.from_json(p) for p in entries)
+    # order-sensitive tag: the manifest records cells in series order,
+    # so a reordered spec list is a different campaign directory
+    joined = "\n".join(s.canonical() for s in specs)
+    tag = f"{zlib.crc32(joined.encode()):08x}"
+    return FigureSpec(
+        figure=f"scenario-{tag}",
+        title=f"scenario grid from {path}",
+        configs=specs,
+        n_values=(10, 20),
+        trials=10,
+    )
+
+
+def _resolve_grid(args):
+    """The (figure name, FigureSpec) a grid command refers to."""
+    specs = _figure_specs()
+    if getattr(args, "spec", None):
+        grid = _load_spec_grid(args.spec)
+        return grid.figure, grid
+    if not args.figure:
+        raise ValueError("pass a figure name or --spec FILE")
+    if args.figure not in specs:
+        raise ValueError(
+            f"unknown figure {args.figure!r} (choose from {', '.join(specs)})"
+        )
+    spec = specs[args.figure]()
+    if args.full:
+        spec = spec.paper_scale()
+    return args.figure, spec
+
+
 def cmd_experiment(args) -> int:
     """``repro experiment``: run one figure grid and print its series."""
     from .experiments.report import format_figure
     from .experiments.runner import run_figure
 
-    specs = _figure_specs()
-    if args.figure not in specs:
-        print(f"unknown figure {args.figure!r} (choose from {', '.join(specs)})")
+    try:
+        _, spec = _resolve_grid(args)
+    except ValueError as exc:
+        print(f"{exc}")
         return 2
-    spec = specs[args.figure]()
-    if args.full:
-        spec = spec.paper_scale()
     n_values = [int(x) for x in args.n.split(",")] if args.n else None
     result = run_figure(spec, seed=args.seed, n_jobs=args.jobs,
                         trials=args.trials, n_values=n_values)
@@ -119,14 +285,12 @@ def cmd_campaign(args) -> int:
     )
     from .experiments.report import format_figure
 
-    specs = _figure_specs()
-    if args.figure not in specs:
-        print(f"unknown figure {args.figure!r} (choose from {', '.join(specs)})")
+    try:
+        figure, spec = _resolve_grid(args)
+    except ValueError as exc:
+        print(f"{exc}")
         return 2
-    spec = specs[args.figure]()
-    if args.full:
-        spec = spec.paper_scale()
-    root = os.path.join(args.results_dir, f"{args.figure}-seed{args.seed}")
+    root = os.path.join(args.results_dir, f"{figure}-seed{args.seed}")
 
     if args.status:
         try:
@@ -157,7 +321,7 @@ def cmd_campaign(args) -> int:
     except (CampaignMismatch, ValueError) as exc:
         print(f"error: {exc}")
         return 2
-    print(f"campaign {args.figure} in {root}: ran {run.new_trials} new trials, "
+    print(f"campaign {figure} in {root}: ran {run.new_trials} new trials, "
           f"skipped {run.skipped_existing} already stored, "
           f"{run.remaining}/{run.total} remaining")
     if run.complete:
@@ -219,8 +383,25 @@ def cmd_export(args) -> int:
     return 0
 
 
+def _add_grid_arguments(p) -> None:
+    """The shared figure-grid flags of ``experiment`` and ``campaign``."""
+    p.add_argument("figure", nargs="?", default=None,
+                   help="paper figure name, or omit and pass --spec")
+    p.add_argument("--spec", type=str, default=None, metavar="FILE",
+                   help="JSON scenario (or list of scenarios) to grid over "
+                        "instead of a paper figure")
+    p.add_argument("--trials", type=int, default=None)
+    p.add_argument("--n", type=str, default=None)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: all cores for big cells)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--full", action="store_true")
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    from .registry import REGISTRY
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -228,10 +409,29 @@ def main(argv=None) -> int:
     p.add_argument("figures", nargs="*")
     p.set_defaults(func=cmd_verify)
 
-    p = sub.add_parser("run", help="one dynamics run")
-    p.add_argument("--game", default="asg", choices=["asg", "sg", "gbg"])
+    p = sub.add_parser("scenarios",
+                       help="list registered games/policies/dynamics/topologies/metrics")
+    p.add_argument("category", nargs="?", default=None,
+                   help="restrict to one category")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable registry dump")
+    p.set_defaults(func=cmd_scenarios)
+
+    p = sub.add_parser("run", help="one dynamics run of any registered scenario")
+    p.add_argument("--game", default="asg", choices=REGISTRY.names("game"))
     p.add_argument("--mode", default="sum", choices=["sum", "max"])
-    p.add_argument("--policy", default="maxcost", choices=["maxcost", "random"])
+    p.add_argument("--policy", default="maxcost", choices=REGISTRY.names("policy"))
+    p.add_argument("--topology", default=None, choices=REGISTRY.names("topology"),
+                   help="initial topology (default: budget for swap games, "
+                        "random for buy games)")
+    p.add_argument("--dynamics", default="sequential",
+                   choices=REGISTRY.names("dynamics"))
+    p.add_argument("--metrics", type=str, default=None,
+                   help="comma-separated registered metrics "
+                        "(default: steps,status,social_cost,diameter)")
+    p.add_argument("--param", action="append", default=[], metavar="k=v",
+                   help="component parameter (see `repro scenarios`); "
+                        "qualify ambiguous names as axis.k=v")
     p.add_argument("--n", type=int, default=30)
     p.add_argument("--budget", type=int, default=2)
     p.add_argument("--m", type=int, default=None)
@@ -240,25 +440,13 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("experiment", help="run a figure grid")
-    p.add_argument("figure")
-    p.add_argument("--trials", type=int, default=None)
-    p.add_argument("--n", type=str, default=None)
-    p.add_argument("--jobs", type=int, default=None,
-                   help="worker processes (default: all cores for big cells)")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--full", action="store_true")
+    _add_grid_arguments(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("campaign", help="resumable sharded figure campaign")
-    p.add_argument("figure")
+    _add_grid_arguments(p)
     p.add_argument("--results-dir", default="results",
                    help="store root; the campaign lives in <dir>/<figure>-seed<seed>")
-    p.add_argument("--trials", type=int, default=None)
-    p.add_argument("--n", type=str, default=None)
-    p.add_argument("--jobs", type=int, default=None,
-                   help="worker processes (default: all cores for big batches)")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--full", action="store_true")
     p.add_argument("--resume", action="store_true",
                    help="continue an existing store (without this flag a "
                         "store that already holds records is refused)")

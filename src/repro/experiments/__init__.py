@@ -12,7 +12,8 @@ One module per experiment family:
 """
 
 from . import asg_budget, campaign, density, gbg, report, runner, topology  # noqa: F401
-from .config import ExperimentConfig, FigureSpec
+from .config import CellConfig, ExperimentConfig, FigureSpec
+from .runner import TrialRecord
 
 __all__ = [
     "asg_budget",
@@ -24,4 +25,6 @@ __all__ = [
     "report",
     "ExperimentConfig",
     "FigureSpec",
+    "CellConfig",
+    "TrialRecord",
 ]

@@ -41,8 +41,15 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.stats import ConvergenceStats
-from .config import ExperimentConfig, FigureSpec
-from .runner import FigureResult, _config_digest, resolve_n_jobs, run_trial, trial_jobs
+from .config import CellConfig, ExperimentConfig, FigureSpec
+from .runner import (
+    FigureResult,
+    TrialRecord,
+    _config_digest,
+    resolve_n_jobs,
+    run_trial,
+    trial_jobs,
+)
 
 __all__ = [
     "CampaignMismatch",
@@ -53,6 +60,7 @@ __all__ = [
     "campaign_status",
     "aggregate_records",
     "aggregate_payload",
+    "metric_payloads",
 ]
 
 STORE_VERSION = 1
@@ -62,20 +70,35 @@ class CampaignMismatch(RuntimeError):
     """The directory holds a different campaign than the one requested."""
 
 
-def cell_key(cfg: ExperimentConfig, n: int) -> str:
+def cell_key(cfg: CellConfig, n: int) -> str:
     """Stable identifier of one (config, n) cell.
 
-    Built from the same ``repr``-based digest that seeds the trials, so
-    two configs share a key iff they draw identical trial sequences.
+    Built from the same canonical digest that seeds the trials
+    (``crc32`` of the legacy config repr, which
+    ``ScenarioSpec.digest()`` reproduces for legacy-expressible specs),
+    so two cell configs share a key iff they draw identical trial
+    sequences — regardless of which spec surface described them.
     """
     return f"{_config_digest(cfg):08x}-n{n}"
+
+
+def _cell_manifest_repr(cfg: CellConfig) -> str:
+    """The manifest's human-readable cell identity string.
+
+    Legacy configs keep the historical ``repr`` form byte-for-byte (a
+    pre-registry store must validate and resume unchanged); scenario
+    cells store their canonical form.
+    """
+    if isinstance(cfg, ExperimentConfig):
+        return repr(cfg)
+    return cfg.canonical()
 
 
 @dataclass(frozen=True)
 class _CellPlan:
     key: str
     series: str
-    cfg: ExperimentConfig
+    cfg: CellConfig
     n: int
 
 
@@ -104,7 +127,7 @@ def _manifest_for(
         "n_values": list(n_values),
         "max_steps_factor": max_steps_factor,
         "cells": [
-            {"key": c.key, "series": c.series, "n": c.n, "cfg": repr(c.cfg)}
+            {"key": c.key, "series": c.series, "n": c.n, "cfg": _cell_manifest_repr(c.cfg)}
             for c in cells
         ],
     }
@@ -254,6 +277,24 @@ def aggregate_records(
     return result
 
 
+def metric_payloads(records: Iterable[dict]) -> Dict[str, Dict[int, dict]]:
+    """``cell key -> {trial -> stored metric dict}`` across all records.
+
+    Rows written before the metrics redesign (or by scenarios with the
+    default steps/status metric set) have no ``"metrics"`` key and are
+    simply absent here — the steps/status aggregate path is unaffected.
+    Duplicated ``(cell, trial)`` rows keep the first occurrence, like
+    :func:`aggregate_records`.
+    """
+    out: Dict[str, Dict[int, dict]] = {}
+    for rec in records:
+        metrics = rec.get("metrics")
+        if not isinstance(metrics, dict):
+            continue
+        out.setdefault(rec["cell"], {}).setdefault(int(rec["trial"]), metrics)
+    return out
+
+
 def aggregate_payload(result: FigureResult) -> dict:
     """Canonical JSON payload of an aggregate (for reports and the
     byte-identity tests): ``{series: {n: stats dict}}``."""
@@ -279,10 +320,24 @@ class CampaignRun:
         return self.remaining == 0
 
 
-def _campaign_trial(args) -> Tuple[str, int, int, str]:
+def _campaign_trial(args) -> Tuple[str, int, TrialRecord]:
     key, idx, job = args
-    steps, status = run_trial(job)
-    return key, idx, steps, status
+    return key, idx, run_trial(job)
+
+
+def _trial_row(key: str, idx: int, rec: TrialRecord) -> dict:
+    """The stored JSONL row of one completed trial.
+
+    ``steps``/``status`` stay top-level (the aggregate contract);
+    metrics beyond that implicit pair ride along under ``"metrics"``.
+    The key is omitted when the scenario requests no extra metrics, so
+    legacy-shaped campaigns keep writing byte-identical rows.
+    """
+    row = {"cell": key, "trial": idx, "steps": rec.steps, "status": rec.status}
+    extra = rec.extra_metrics()
+    if extra:
+        row["metrics"] = {k: extra[k] for k in sorted(extra)}
+    return row
 
 
 def run_campaign(
@@ -350,20 +405,15 @@ def run_campaign(
         with store.open_writer(shard) as fh:
             if n_jobs <= 1:
                 for task in pending:
-                    key, idx, steps, status = _campaign_trial(task)
-                    store.append(
-                        fh, {"cell": key, "trial": idx, "steps": steps, "status": status}
-                    )
+                    key, idx, rec = _campaign_trial(task)
+                    store.append(fh, _trial_row(key, idx, rec))
                     new += 1
             else:
                 with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-                    for key, idx, steps, status in pool.map(
+                    for key, idx, rec in pool.map(
                         _campaign_trial, pending, chunksize=8
                     ):
-                        store.append(
-                            fh,
-                            {"cell": key, "trial": idx, "steps": steps, "status": status},
-                        )
+                        store.append(fh, _trial_row(key, idx, rec))
                         new += 1
 
     records = store.load_records()

@@ -1,46 +1,57 @@
 """Seeded sweep runner for the empirical study.
 
-One *cell* = (config, n); one *trial* = a random initial network plus a
-dynamics run to convergence.  Seeds derive from a single root
-``SeedSequence`` so every sweep is exactly reproducible, including under
-multiprocessing (each trial's seed is independent of scheduling).
+One *cell* = (scenario, n); one *trial* = a random initial network plus
+a dynamics run.  Seeds derive from a single root ``SeedSequence`` so
+every sweep is exactly reproducible, including under multiprocessing
+(each trial's seed is independent of scheduling).
+
+Everything instantiates through :data:`repro.registry.REGISTRY`: a cell
+configuration is a :class:`~repro.registry.ScenarioSpec` (or the legacy
+:class:`~repro.experiments.config.ExperimentConfig` shim, converted on
+entry), so every registered game × policy × dynamics kind × topology ×
+metric combination runs through the same three functions —
+:func:`trial_jobs`, :func:`run_trial`, :func:`run_cell` — with no
+per-component code here.
+
+:func:`run_trial` returns a :class:`TrialRecord`: the classic
+``(steps, status)`` pair (it still unpacks like the old 2-tuple) plus
+the scenario's registered per-trial metrics.
 
 The runner follows the hpc-parallel guidance: the inner loop is the
 vectorized best-response engine; parallelism is process-level over
-trials (``n_jobs``), communication is one small result tuple per trial.
+trials (``n_jobs``), communication is one small record per trial.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.stats import ConvergenceStats
-from ..core.dynamics import run_dynamics
-from ..core.games import AsymmetricSwapGame, Game, GreedyBuyGame
+from ..core.games import Game
 from ..core.network import Network
-from ..core.policies import MaxCostPolicy, MovePolicy, RandomPolicy
-from ..graphs.generators import (
-    directed_line_network,
-    random_budget_network,
-    random_line_network,
-    random_m_edge_network,
-)
-from .config import ExperimentConfig, FigureSpec
+from ..core.policies import MovePolicy
+from ..registry import REGISTRY, ScenarioSpec, as_scenario
+from ..registry.builtin import DynamicsKind, TrialContext, TrialOutcome
+from .config import CellConfig, ExperimentConfig, FigureSpec
 
 __all__ = [
     "build_game",
     "build_policy",
     "build_initial",
+    "build_dynamics",
     "resolve_n_jobs",
     "trial_jobs",
     "run_trial",
+    "run_scenario",
     "run_cell",
     "run_figure",
+    "TrialRecord",
     "FigureResult",
 ]
 
@@ -67,48 +78,70 @@ def resolve_n_jobs(n_jobs: Optional[int], trials: int) -> int:
     return max(1, min(os.cpu_count() or 1, trials))
 
 
-def build_game(cfg: ExperimentConfig, n: int) -> Game:
+# ---------------------------------------------------------------------------
+# Registry-backed builders
+# ---------------------------------------------------------------------------
+
+
+def _axis(cfg: CellConfig, category: str) -> Tuple[str, Dict[str, Any]]:
+    """``(component name, params)`` of one axis of a cell config.
+
+    Legacy configs are read per axis (so e.g. :func:`build_policy`
+    never validates the topology, exactly as pre-registry);
+    :class:`ScenarioSpec` cells were fully validated at construction.
+    """
+    if isinstance(cfg, ExperimentConfig):
+        return cfg.scenario_axis(category)
+    spec = as_scenario(cfg)
+    return getattr(spec, category), spec.params_for(category)
+
+
+def build_game(cfg: CellConfig, n: int) -> Game:
     """Instantiate the configured game for ``n`` agents."""
-    if cfg.game == "asg":
-        return AsymmetricSwapGame(cfg.mode)
-    if cfg.game == "gbg":
-        return GreedyBuyGame(cfg.mode, alpha=cfg.resolve_alpha(n))
-    raise ValueError(f"unknown game {cfg.game!r}")
+    name, params = _axis(cfg, "game")
+    return REGISTRY.build("game", name, params, n=n)
 
 
-def build_policy(cfg: ExperimentConfig) -> MovePolicy:
+def build_policy(cfg: CellConfig) -> MovePolicy:
     """Instantiate the configured move policy."""
-    if cfg.policy == "maxcost":
-        return MaxCostPolicy()
-    if cfg.policy == "random":
-        return RandomPolicy()
-    raise ValueError(f"unknown policy {cfg.policy!r}")
+    name, params = _axis(cfg, "policy")
+    return REGISTRY.build("policy", name, params)
 
 
-def build_initial(cfg: ExperimentConfig, n: int, seed: np.random.Generator) -> Network:
+def build_initial(cfg: CellConfig, n: int, seed: np.random.Generator) -> Network:
     """Draw the configured random initial network."""
-    if cfg.topology == "budget":
-        assert cfg.budget is not None
-        return random_budget_network(n, cfg.budget, seed=seed)
-    if cfg.topology == "random":
-        return random_m_edge_network(n, cfg.resolve_m(n) if cfg.m_edges else n, seed=seed)
-    if cfg.topology == "rl":
-        return random_line_network(n, seed=seed)
-    if cfg.topology == "dl":
-        return directed_line_network(n)
-    raise ValueError(f"unknown topology {cfg.topology!r}")
+    name, params = _axis(cfg, "topology")
+    return REGISTRY.build("topology", name, params, n=n, rng=seed)
 
 
-def _config_digest(cfg: ExperimentConfig) -> int:
-    """Deterministic 32-bit digest of a config (``hash`` is randomized
-    per process for strings, which would break seed reproducibility)."""
-    import zlib
+def build_dynamics(cfg: CellConfig) -> DynamicsKind:
+    """Instantiate the configured dynamics kind (activation model)."""
+    name, params = _axis(cfg, "dynamics")
+    return REGISTRY.build("dynamics", name, params)
 
-    return zlib.crc32(repr(cfg).encode())
+
+def _config_digest(cfg: CellConfig) -> int:
+    """Deterministic 32-bit digest of a cell configuration.
+
+    (``hash`` is randomized per process for strings, which would break
+    seed reproducibility.)  Legacy ``ExperimentConfig`` cells keep the
+    historical ``crc32(repr(cfg))`` value verbatim;
+    ``ScenarioSpec.digest()`` reproduces that exact value for every
+    legacy-expressible spec (pinned by the registry test suite), so
+    seeds never depend on which of the two surfaces described the cell.
+    """
+    if isinstance(cfg, ExperimentConfig):
+        return zlib.crc32(repr(cfg).encode())
+    return as_scenario(cfg).digest()
+
+
+# ---------------------------------------------------------------------------
+# Trials
+# ---------------------------------------------------------------------------
 
 
 def trial_jobs(
-    cfg: ExperimentConfig, n: int, trials: int, seed: int, max_steps_factor: int = 50
+    cfg: CellConfig, n: int, trials: int, seed: int, max_steps_factor: int = 50
 ) -> List[tuple]:
     """Per-trial job tuples for one (config, n) cell.
 
@@ -128,28 +161,100 @@ def trial_jobs(
     ]
 
 
-def run_trial(args) -> Tuple[int, str]:
-    """Execute one trial job; returns ``(steps, status)``.
+@dataclass(frozen=True)
+class TrialRecord:
+    """Extensible outcome of one trial.
 
-    ``status`` is the :class:`~repro.core.dynamics.RunResult` status
-    (``"converged"`` or ``"exhausted"`` — sweeps run without cycle
-    detection, so a cycling run simply exhausts its step cap).
+    ``steps`` / ``status`` keep the classic contract (``status`` is the
+    dynamics-run status: ``"converged"``, ``"cycled"`` under
+    cycle-detecting dynamics, or ``"exhausted"`` at the step cap);
+    ``metrics`` holds every metric the scenario requested, as
+    JSON-serializable values keyed by registered metric name.
+    ``rounds`` is filled by round-based dynamics kinds.
+
+    The record *iterates* as ``(steps, status)`` so call sites written
+    against the historical bare tuple keep working unchanged.
     """
+
+    steps: int
+    status: str
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    rounds: Optional[int] = None
+
+    @property
+    def converged(self) -> bool:
+        return self.status == "converged"
+
+    def extra_metrics(self) -> Dict[str, Any]:
+        """Metrics beyond the implicit steps/status pair (for storage)."""
+        return {k: v for k, v in self.metrics.items() if k not in ("steps", "status")}
+
+    def __iter__(self) -> Iterator:
+        yield self.steps
+        yield self.status
+
+
+def _execute(spec: ScenarioSpec, n: int, max_steps: int,
+             rng: np.random.Generator) -> Tuple[TrialRecord, TrialOutcome]:
+    """Shared trial body: build all components, run, evaluate metrics.
+
+    Build order (initial network first, then game/policy) is part of
+    the reproducibility contract — it fixes how the trial's RNG stream
+    is consumed and therefore every historical trajectory.
+    """
+    net = build_initial(spec, n, rng)
+    game = build_game(spec, n)
+    dynamics = build_dynamics(spec)
+    # round-based kinds activate every unhappy agent themselves — the
+    # policy axis is inert there (``DynamicsKind.uses_policy``), so a
+    # configured policy is not even built (building consumes no RNG, so
+    # this cannot shift any trajectory either way)
+    policy = build_policy(spec) if dynamics.uses_policy else None
+    outcome = dynamics.run(
+        game, net, policy, max_steps=max_steps, rng=rng, backend=spec.backend
+    )
+    ctx = TrialContext(spec=spec, n=n, game=game, policy=policy, outcome=outcome)
+    metrics = {
+        name: REGISTRY.build("metric", name)(ctx) for name in spec.metrics
+    }
+    record = TrialRecord(
+        steps=int(outcome.steps), status=outcome.status,
+        metrics=metrics, rounds=outcome.rounds,
+    )
+    return record, outcome
+
+
+def run_trial(args) -> TrialRecord:
+    """Execute one trial job from :func:`trial_jobs`."""
     cfg, n, max_steps, (entropy, spawn_key) = args
+    spec = as_scenario(cfg)
     ss = np.random.SeedSequence(entropy=list(entropy), spawn_key=spawn_key)
     rng = np.random.default_rng(ss)
-    net = build_initial(cfg, n, rng)
-    game = build_game(cfg, n)
-    policy = build_policy(cfg)
-    result = run_dynamics(
-        game, net, policy, max_steps=max_steps, rng=rng,
-        record_trajectory=False, copy_initial=False, backend=cfg.backend,
-    )
-    return result.steps, result.status
+    record, _ = _execute(spec, n, max_steps, rng)
+    return record
+
+
+def run_scenario(
+    cfg: CellConfig,
+    n: int,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+) -> Tuple[TrialRecord, TrialOutcome]:
+    """Run a single scenario instance directly (no cell seeding).
+
+    Convenience for the CLI and notebooks: seeds a fresh generator,
+    draws one initial network and runs the configured dynamics.
+    Returns both the metric record and the raw
+    :class:`~repro.registry.TrialOutcome` (which carries the final
+    network and the kind-specific result object).
+    """
+    spec = as_scenario(cfg)
+    rng = np.random.default_rng(seed)
+    return _execute(spec, n, max_steps if max_steps is not None else 50 * n, rng)
 
 
 def run_cell(
-    cfg: ExperimentConfig,
+    cfg: CellConfig,
     n: int,
     trials: int,
     seed: int = 0,
@@ -171,12 +276,12 @@ def run_cell(
     stats = ConvergenceStats()
     if n_jobs <= 1:
         for job in jobs:
-            steps, status = run_trial(job)
-            stats.add(steps, status == "converged")
+            rec = run_trial(job)
+            stats.add(rec.steps, rec.converged)
     else:
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            for steps, status in pool.map(run_trial, jobs, chunksize=8):
-                stats.add(steps, status == "converged")
+            for rec in pool.map(run_trial, jobs, chunksize=8):
+                stats.add(rec.steps, rec.converged)
     return stats
 
 

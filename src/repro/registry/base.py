@@ -1,0 +1,336 @@
+"""Component registry: named, schema-typed experiment building blocks.
+
+The empirical surface of the reproduction is a grid over orthogonal
+axes — *which game*, *which move policy*, *which activation model
+(dynamics kind)*, *which initial-topology generator*, and *which
+per-trial metrics to report*.  Each axis is a :class:`Registry`
+category; components register under a stable name with a typed
+parameter schema (:class:`Param`) and a factory.  A
+:class:`~repro.registry.scenario.ScenarioSpec` then names one component
+per axis plus validated parameters, and everything downstream (the
+sweep runner, the campaign store, the CLI) instantiates through the
+registry instead of hand-rolled ``if``-chains.
+
+Adding a component is one call::
+
+    from repro.registry import REGISTRY, Param
+
+    @REGISTRY.register("metric", "leaves", doc="leaf count of the final network")
+    def _leaves():
+        return lambda ctx: int((ctx.outcome.final.A.sum(axis=1) == 1).sum())
+
+Schemas are validated *before* the factory runs: unknown parameter
+names, missing required parameters, type mismatches and out-of-choice
+values all raise ``ValueError`` with the declared schema in the
+message, so a typo in a JSON spec or a ``--param`` flag fails loudly at
+spec construction, not deep inside a worker process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Param",
+    "Component",
+    "Registry",
+    "REGISTRY",
+    "CATEGORIES",
+]
+
+#: the axes of one experiment scenario, in presentation order.
+CATEGORIES: Tuple[str, ...] = ("game", "policy", "dynamics", "topology", "metric")
+
+#: sentinel distinguishing "no default" (required) from "defaults to None".
+_REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared parameter of a component.
+
+    ``kind`` is the wire type — ``"int" | "float" | "str" | "bool"``.
+    Values arriving as strings (JSON round-trips through the CLI's
+    ``--param k=v`` flags are all strings) are coerced to the declared
+    kind; anything incoercible raises ``ValueError``.  ``choices``
+    restricts the coerced value to an explicit set.  ``check`` is an
+    optional extra validator called with the coerced value (raise
+    ``ValueError`` to reject) — for constraints a type and choice set
+    cannot express, e.g. numeric ranges or names that must resolve in
+    the registry; it runs at spec construction, preserving the
+    fail-before-any-worker guarantee.  ``sample`` is a valid example
+    value used by docs, ``repro scenarios`` output and the exhaustive
+    round-trip tests.
+    """
+
+    name: str
+    kind: str = "str"
+    default: Any = _REQUIRED
+    choices: Optional[Tuple[Any, ...]] = None
+    doc: str = ""
+    sample: Any = None
+    check: Optional[Callable[[Any], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "float", "str", "bool"):
+            raise ValueError(f"unknown param kind {self.kind!r}")
+
+    @property
+    def required(self) -> bool:
+        """Whether the parameter has no default and must be given."""
+        return self.default is _REQUIRED
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce ``value`` to the declared kind (ValueError if impossible)."""
+        try:
+            if self.kind == "int":
+                if isinstance(value, bool):
+                    raise ValueError
+                return int(value)
+            if self.kind == "float":
+                if isinstance(value, bool):
+                    raise ValueError
+                return float(value)
+            if self.kind == "bool":
+                if isinstance(value, bool):
+                    return value
+                if isinstance(value, str) and value.lower() in ("true", "1", "yes"):
+                    return True
+                if isinstance(value, str) and value.lower() in ("false", "0", "no"):
+                    return False
+                raise ValueError
+            return str(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"parameter {self.name!r} expects {self.kind}, got {value!r}"
+            ) from None
+
+    def validate(self, value: Any) -> Any:
+        """Coerce and choice-check one value."""
+        coerced = self.coerce(value)
+        if self.choices is not None and coerced not in self.choices:
+            raise ValueError(
+                f"parameter {self.name!r} must be one of "
+                f"{', '.join(map(repr, self.choices))}; got {coerced!r}"
+            )
+        if self.check is not None:
+            try:
+                self.check(coerced)
+            except ValueError as exc:
+                raise ValueError(f"parameter {self.name!r}: {exc}") from None
+        return coerced
+
+    def describe(self) -> str:
+        """One-line schema rendering for listings and error messages."""
+        bits = [self.kind]
+        if self.choices is not None:
+            bits.append("{" + "|".join(str(c) for c in self.choices) + "}")
+        if self.required:
+            bits.append("required")
+        else:
+            bits.append(f"default={self.default!r}")
+        return f"{self.name}: " + " ".join(bits)
+
+    def sample_value(self) -> Any:
+        """A valid concrete value (for docs and round-trip tests)."""
+        if self.sample is not None:
+            return self.sample
+        if not self.required:
+            return self.default
+        if self.choices:
+            return self.choices[0]
+        return {"int": 1, "float": 1.0, "str": "x", "bool": True}[self.kind]
+
+
+@dataclass(frozen=True)
+class Component:
+    """One registered component: identity, schema, factory, docs."""
+
+    category: str
+    name: str
+    factory: Callable
+    params: Tuple[Param, ...] = ()
+    doc: str = ""
+
+    def param(self, name: str) -> Optional[Param]:
+        for p in self.params:
+            if p.name == name:
+                return p
+        return None
+
+    def schema_line(self) -> str:
+        """``name — doc (params: ...)`` rendering for ``repro scenarios``."""
+        schema = ", ".join(p.describe() for p in self.params) or "no parameters"
+        return f"{self.name:<14} {self.doc}  [{schema}]"
+
+    def validate(self, params: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+        """Full validated parameter dict (defaults applied, sorted keys)."""
+        params = dict(params or {})
+        out: Dict[str, Any] = {}
+        declared = {p.name for p in self.params}
+        unknown = sorted(set(params) - declared)
+        if unknown:
+            schema = ", ".join(p.describe() for p in self.params) or "none"
+            raise ValueError(
+                f"{self.category} {self.name!r} got unknown parameter(s) "
+                f"{', '.join(map(repr, unknown))}; declared: {schema}"
+            )
+        for p in self.params:
+            if p.name in params and params[p.name] is not None:
+                out[p.name] = p.validate(params[p.name])
+            elif p.name in params and not p.required:
+                out[p.name] = None  # explicit None keeps an optional unset
+            elif p.required:
+                raise ValueError(
+                    f"{self.category} {self.name!r} requires parameter "
+                    f"{p.name!r} ({p.describe()})"
+                )
+            else:
+                out[p.name] = p.default
+        return {k: out[k] for k in sorted(out)}
+
+    def canonical_params(self, params: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+        """Validated params minus entries equal to their default.
+
+        Dropping defaulted entries keeps scenario digests stable when a
+        component later grows a new optional parameter.
+        """
+        validated = self.validate(params)
+        defaults = {p.name: p.default for p in self.params if not p.required}
+        return tuple(
+            (k, v)
+            for k, v in validated.items()
+            if not (k in defaults and defaults[k] == v and type(defaults[k]) is type(v))
+        )
+
+
+class Registry:
+    """Name → component mapping across the scenario categories."""
+
+    def __init__(self, categories: Sequence[str] = CATEGORIES) -> None:
+        self._categories: Tuple[str, ...] = tuple(categories)
+        self._components: Dict[str, Dict[str, Component]] = {
+            c: {} for c in self._categories
+        }
+
+    # -- registration ------------------------------------------------------
+    def add(
+        self,
+        category: str,
+        name: str,
+        factory: Callable,
+        params: Sequence[Param] = (),
+        doc: str = "",
+        replace: bool = False,
+    ) -> Component:
+        """Register ``factory`` under ``(category, name)``.
+
+        Duplicate names are refused unless ``replace=True`` — silently
+        shadowing a built-in would change what stored scenario specs
+        mean.
+        """
+        table = self._table(category)
+        if name in table and not replace:
+            raise ValueError(
+                f"{category} {name!r} is already registered; "
+                "pass replace=True to override"
+            )
+        comp = Component(category, name, factory, tuple(params), doc)
+        table[name] = comp
+        return comp
+
+    def register(
+        self,
+        category: str,
+        name: str,
+        params: Sequence[Param] = (),
+        doc: str = "",
+        replace: bool = False,
+    ) -> Callable:
+        """Decorator form of :meth:`add`."""
+
+        def wrap(factory: Callable) -> Callable:
+            self.add(category, name, factory, params=params, doc=doc, replace=replace)
+            return factory
+
+        return wrap
+
+    # -- lookup ------------------------------------------------------------
+    def _table(self, category: str) -> Dict[str, Component]:
+        if category not in self._components:
+            raise ValueError(
+                f"unknown category {category!r} "
+                f"(choose from {', '.join(self._categories)})"
+            )
+        return self._components[category]
+
+    def categories(self) -> Tuple[str, ...]:
+        return self._categories
+
+    def names(self, category: str) -> List[str]:
+        """Registered component names of one category, sorted."""
+        return sorted(self._table(category))
+
+    def get(self, category: str, name: str) -> Component:
+        table = self._table(category)
+        if name not in table:
+            raise ValueError(
+                f"unknown {category} {name!r} "
+                f"(registered: {', '.join(sorted(table)) or 'none'})"
+            )
+        return table[name]
+
+    def has(self, category: str, name: str) -> bool:
+        return name in self._table(category)
+
+    # -- validation / construction -----------------------------------------
+    def validate(
+        self, category: str, name: str, params: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Validated full parameter dict for ``(category, name)``."""
+        return self.get(category, name).validate(params)
+
+    def build(
+        self,
+        category: str,
+        name: str,
+        params: Optional[Mapping[str, Any]] = None,
+        **context: Any,
+    ) -> Any:
+        """Instantiate a component: validate params, call the factory.
+
+        ``context`` carries per-call inputs that are not part of the
+        scenario identity (``n``, ``rng`` …); the factory signature
+        decides which it needs.
+        """
+        comp = self.get(category, name)
+        return comp.factory(**context, **comp.validate(params))
+
+    def describe(self) -> Dict[str, List[Dict[str, Any]]]:
+        """JSON-friendly dump of the whole registry (for the CLI)."""
+        out: Dict[str, List[Dict[str, Any]]] = {}
+        for category in self._categories:
+            out[category] = [
+                {
+                    "name": comp.name,
+                    "doc": comp.doc,
+                    "params": [
+                        {
+                            "name": p.name,
+                            "kind": p.kind,
+                            "required": p.required,
+                            "default": None if p.required else p.default,
+                            "choices": list(p.choices) if p.choices else None,
+                            "doc": p.doc,
+                        }
+                        for p in comp.params
+                    ],
+                }
+                for _, comp in sorted(self._table(category).items())
+            ]
+        return out
+
+
+#: the process-wide registry every built-in component registers into.
+REGISTRY = Registry()

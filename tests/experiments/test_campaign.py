@@ -168,6 +168,113 @@ def test_cell_key_ignores_backend_field():
     assert cell_key(a, 10) == cell_key(b, 10)
 
 
+def scenario_spec():
+    """A grid cell impossible under the legacy API: simultaneous-round
+    GBG, noisy best response, tree topology, social-cost reporting."""
+    from repro.registry import ScenarioSpec
+
+    return ScenarioSpec(
+        game="gbg", policy="noisy", dynamics="simultaneous", topology="tree",
+        game_params={"mode": "sum", "alpha": "n/4"},
+        policy_params={"epsilon": 0.2},
+        metrics=("steps", "status", "social_cost", "rounds"),
+        label="noisy simultaneous gbg",
+    )
+
+
+def scenario_grid() -> FigureSpec:
+    return FigureSpec(
+        figure="figS", title="scenario grid",
+        configs=(scenario_spec(),), n_values=(8,), trials=4,
+    )
+
+
+def test_pre_redesign_store_resumes_without_recomputation(tmp_path):
+    """A campaign store written by the pre-registry code — manifest with
+    repr-based cfg strings, rows without a metrics key — must validate
+    and resume with its trials skipped, not recomputed.  The store here
+    is byte-crafted to the old format, not produced by current code."""
+    import zlib
+
+    cfg = tiny_spec().configs[0]
+    n = 8
+    # the old cell key: crc32 of the config repr (literal algorithm)
+    key = f"{zlib.crc32(repr(cfg).encode()):08x}-n{n}"
+    root = tmp_path / "old-store"
+    root.mkdir()
+    manifest = {
+        "version": 1,
+        "figure": "figT",
+        "title": "campaign test grid",
+        "seed": 1,
+        "trials": 3,
+        "n_values": [n],
+        "max_steps_factor": 50,
+        "cells": [
+            {"key": key, "series": cfg.series_name(), "n": n, "cfg": repr(cfg)}
+        ],
+    }
+    (root / "manifest.json").write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    old_rows = [
+        {"cell": key, "trial": 0, "steps": 5, "status": "converged"},
+        {"cell": key, "trial": 2, "steps": 7, "status": "converged"},
+    ]
+    (root / "trials-0of1.jsonl").write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in old_rows)
+    )
+
+    spec = FigureSpec(figure="figT", title="campaign test grid",
+                      configs=(cfg,), n_values=(n,), trials=3)
+    run = run_campaign(spec, root, seed=1, n_jobs=1)
+    assert run.skipped_existing == 2  # the pre-redesign rows survived
+    assert run.new_trials == 1       # only the missing trial ran
+    assert run.complete
+    stats = run.result.series[cfg.series_name()][n]
+    # the fabricated legacy outcomes flow into the aggregate untouched
+    assert {5, 7} <= set(stats.steps)
+
+
+def test_scenario_cells_campaign_with_metric_payload(tmp_path):
+    from repro.experiments.campaign import metric_payloads
+
+    run = run_campaign(scenario_grid(), tmp_path / "c", seed=1, n_jobs=1)
+    assert run.complete and run.total == 4
+    store = CampaignStore(tmp_path / "c")
+    records = store.load_records()
+    payload = metric_payloads(records)
+    [cell] = payload
+    assert cell == cell_key(scenario_spec(), 8)
+    assert set(payload[cell]) == {0, 1, 2, 3}
+    for metrics in payload[cell].values():
+        assert set(metrics) == {"social_cost", "rounds"}
+        assert metrics["social_cost"] > 0
+
+    # resume recomputes nothing and keeps the payloads
+    again = run_campaign(scenario_grid(), tmp_path / "c", seed=1, n_jobs=1)
+    assert again.new_trials == 0 and again.skipped_existing == 4
+
+
+def test_scenario_campaign_shards_and_resumes(tmp_path):
+    grid = scenario_grid()
+    reference = run_campaign(grid, tmp_path / "full", seed=2, n_jobs=1)
+    root = tmp_path / "sharded"
+    s0 = run_campaign(grid, root, seed=2, n_jobs=1, shard=(0, 2))
+    assert not s0.complete
+    s1 = run_campaign(grid, root, seed=2, n_jobs=1, shard=(1, 2))
+    assert s1.complete
+    assert payload_bytes(s1) == payload_bytes(reference)
+
+
+def test_legacy_rows_have_no_metrics_key(tmp_path):
+    """Default-metric scenarios write rows byte-identical in shape to
+    the pre-redesign store format."""
+    run_campaign(tiny_spec(), tmp_path / "c", seed=1, n_jobs=1,
+                 max_new_trials=3)
+    store = CampaignStore(tmp_path / "c")
+    for rec in store.load_records():
+        assert set(rec) == {"cell", "trial", "steps", "status"}
+
+
 def test_campaign_matches_run_cell_statistics(tmp_path):
     """The store pipeline produces exactly the statistics run_cell
     computes directly — same trials, same seeds, same outcomes."""

@@ -32,11 +32,28 @@ class TestConfig:
         with pytest.raises(ValueError):
             ExperimentConfig("gbg", "sum", "maxcost").resolve_m(25)
 
+    def test_m_resolution_accepts_plain_integer_strings(self):
+        cfg = ExperimentConfig("gbg", "sum", "maxcost", m_edges="37")
+        assert cfg.resolve_m(25) == 37
+
+    def test_m_resolution_unknown_spec_is_value_error(self):
+        """Satellite fix: a bad spec raises ValueError like
+        resolve_alpha, not a raw KeyError."""
+        cfg = ExperimentConfig("gbg", "sum", "maxcost", m_edges="lots")
+        with pytest.raises(ValueError, match="m_edges"):
+            cfg.resolve_m(25)
+
     def test_series_name(self):
         cfg = ExperimentConfig("asg", "sum", "maxcost", budget=3)
         assert cfg.series_name() == "k=3, max cost"
         cfg2 = ExperimentConfig("gbg", "max", "random", topology="dl", alpha="n")
         assert cfg2.series_name() == "a=n, dl, random"
+
+    def test_series_name_uses_registered_policy_name(self):
+        """Satellite fix: non-maxcost policies are labelled by their
+        registry name, not blanket 'random'."""
+        cfg = ExperimentConfig("asg", "sum", "greedy", budget=3)
+        assert cfg.series_name() == "k=3, greedy"
 
     def test_paper_scale(self):
         spec = figure7_spec().paper_scale()
@@ -146,6 +163,84 @@ class TestRunFigureAndReport:
                         figure12_spec, figure13_spec, figure14_spec):
             spec = spec_fn()
             assert spec.configs and spec.n_values and spec.trials
+
+
+class TestTrialRecord:
+    """run_trial's extensible record: metrics ride along, the classic
+    (steps, status) unpacking keeps working."""
+
+    def job(self, cfg, n=10):
+        from repro.experiments.runner import trial_jobs
+
+        return trial_jobs(cfg, n, trials=1, seed=0)[0]
+
+    def test_record_unpacks_like_the_legacy_tuple(self):
+        from repro.experiments.runner import run_trial
+
+        rec = run_trial(self.job(ExperimentConfig("asg", "sum", "maxcost", budget=1)))
+        steps, status = rec
+        assert (steps, status) == (rec.steps, rec.status)
+        assert status == "converged" and rec.converged
+
+    def test_default_metrics_mirror_steps_status(self):
+        from repro.experiments.runner import run_trial
+
+        rec = run_trial(self.job(ExperimentConfig("asg", "sum", "maxcost", budget=1)))
+        assert rec.metrics == {"steps": rec.steps, "status": rec.status}
+        assert rec.extra_metrics() == {}
+        assert rec.rounds is None
+
+    def test_scenario_metrics_evaluated(self):
+        from repro.experiments.runner import run_trial
+        from repro.registry import ScenarioSpec
+
+        spec = ScenarioSpec(
+            game="gbg", game_params={"mode": "sum", "alpha": "n/4"},
+            topology="random", topology_params={"m_edges": "2n"},
+            metrics=("steps", "status", "social_cost", "diameter", "edges",
+                     "cost_ratio", "converged", "max_agent_cost"),
+        )
+        rec = run_trial(self.job(spec, n=12))
+        extra = rec.extra_metrics()
+        assert set(extra) == {"social_cost", "diameter", "edges", "cost_ratio",
+                              "converged", "max_agent_cost"}
+        assert extra["social_cost"] > 0 and extra["diameter"] >= 1
+        assert extra["converged"] is True
+        assert 0 < extra["cost_ratio"] < 10
+        import json
+
+        json.dumps(rec.metrics)  # the whole payload must be storable
+
+    def test_simultaneous_dynamics_fills_rounds(self):
+        from repro.experiments.runner import run_trial
+        from repro.registry import ScenarioSpec
+
+        spec = ScenarioSpec(
+            game="asg", game_params={"mode": "sum"},
+            topology_params={"budget": 1}, dynamics="simultaneous",
+            metrics=("steps", "status", "rounds"),
+        )
+        rec = run_trial(self.job(spec, n=10))
+        assert rec.rounds is not None and rec.rounds >= 0
+        assert rec.metrics["rounds"] == rec.rounds
+
+    def test_scenario_cell_matches_legacy_cell(self):
+        """A legacy config and its ScenarioSpec conversion draw the
+        exact same trials — the digest-compat guarantee, end to end."""
+        cfg = ExperimentConfig("asg", "sum", "maxcost", budget=1)
+        a = run_cell(cfg, 12, trials=5, seed=3, n_jobs=1)
+        b = run_cell(cfg.to_scenario(), 12, trials=5, seed=3, n_jobs=1)
+        assert a.steps == b.steps
+
+    def test_run_scenario_returns_outcome(self):
+        from repro.experiments.runner import run_scenario
+        from repro.registry import ScenarioSpec
+
+        spec = ScenarioSpec(game="asg", game_params={"mode": "sum"},
+                            topology_params={"budget": 2})
+        record, outcome = run_scenario(spec, 15, seed=1)
+        assert record.status == outcome.status
+        assert outcome.final.n == 15
 
 
 class TestExhaustedAccounting:

@@ -1,0 +1,72 @@
+"""The package's public surface: every ``__all__`` name must import.
+
+Guards the top-level export list (the PR 3 scheduler API and the
+registry/scenario API ride on ``repro.__init__``) against drift: a name
+listed but not importable, or a subsystem whose ``__all__`` went stale.
+"""
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.core",
+    "repro.core.dynamics",
+    "repro.core.policies",
+    "repro.registry",
+    "repro.registry.base",
+    "repro.registry.builtin",
+    "repro.registry.scenario",
+    "repro.experiments",
+    "repro.experiments.runner",
+    "repro.experiments.campaign",
+    "repro.graphs.generators",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_every_all_name_resolves(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__all__, f"{module_name} has an empty __all__"
+    missing = [name for name in module.__all__ if not hasattr(module, name)]
+    assert not missing, f"{module_name}.__all__ lists unimportable names: {missing}"
+
+
+def test_scheduler_api_is_top_level():
+    """The PR 3 scheduler surface is exported from ``repro`` itself."""
+    import repro
+
+    for name in (
+        "SimultaneousDynamics",
+        "run_simultaneous_dynamics",
+        "GreedyImprovementPolicy",
+        "NoisyBestResponsePolicy",
+        "AdversarialPolicy",
+        "RoundRecord",
+    ):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+
+
+def test_registry_api_is_top_level():
+    import repro
+
+    for name in ("REGISTRY", "ScenarioSpec", "Param", "as_scenario"):
+        assert name in repro.__all__
+
+    spec = repro.ScenarioSpec(
+        game="asg", game_params={"mode": "sum"}, topology_params={"budget": 1}
+    )
+    assert repro.as_scenario(spec) is spec
+
+
+def test_star_import_is_clean():
+    """``from repro import *`` binds exactly ``__all__``."""
+    import repro
+
+    namespace = {}
+    exec("from repro import *", namespace)
+    bound = {k for k in namespace if not k.startswith("__")}
+    expected = {k for k in repro.__all__ if not k.startswith("__")}
+    assert bound == expected
