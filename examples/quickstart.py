@@ -90,9 +90,31 @@ def scenario_layer(n: int, budget: int, seed: int) -> None:
           f"social cost {record.metrics['social_cost']:.0f}")
 
 
+def statespace_layer() -> None:
+    """The exhaustive census: every SG equilibrium at n = 4.
+
+    Where the core layer samples one trajectory, the statespace layer
+    enumerates the *whole* best-response transition system: all 38
+    connected 4-vertex graphs, their transitions, sinks and basins.
+    """
+    from repro import SwapGame, decode_state, explore, verify_sinks
+
+    game = SwapGame("sum")
+    report = explore(game, n=4)
+    verify_sinks(report, game)  # census == brute-force is_stable scan
+    print(f"\nSG/sum n=4 census: {report.n_states} states, "
+          f"{report.n_equilibria} equilibria, "
+          f"longest improving path {report.longest_improving_path}")
+    first = report.equilibria[0]
+    idx = report.graph.index[bytes.fromhex(first)]
+    print(f"  e.g. stable: {decode_state(report.graph.blobs[idx]).describe()} "
+          f"(basin {report.basin_sizes[first]})")
+
+
 def main(n: int = 30, budget: int = 2, seed: int = 7) -> None:
     core_layer(n, budget, seed)
     scenario_layer(n, budget, seed)
+    statespace_layer()
 
 
 if __name__ == "__main__":

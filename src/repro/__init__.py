@@ -77,6 +77,18 @@ from .registry import (
     ScenarioSpec,
     as_scenario,
 )
+from .statespace import (
+    Expander,
+    ExplorationReport,
+    ExplorationStore,
+    ResponseGraph,
+    decode_state,
+    encode_state,
+    enumerate_states,
+    explore,
+    state_key,
+    verify_sinks,
+)
 
 __version__ = "1.1.0"
 
@@ -127,6 +139,17 @@ __all__ = [
     "CATEGORIES",
     "ScenarioSpec",
     "as_scenario",
+    # statespace explorer
+    "state_key",
+    "encode_state",
+    "decode_state",
+    "Expander",
+    "ResponseGraph",
+    "ExplorationReport",
+    "ExplorationStore",
+    "enumerate_states",
+    "explore",
+    "verify_sinks",
     # generators
     "random_budget_network",
     "random_m_edge_network",

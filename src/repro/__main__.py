@@ -20,6 +20,13 @@ Commands
     scenarios' metric payloads.
 ``classify [figures...]``
     Exhaustive reachable-dynamics classification of instance states.
+``explore --game sg --n 4 [--moves best] [--policy all] [--shard i/k]``
+    Exhaustive response-graph exploration: equilibrium and cycle census
+    over every connected configuration at size n (or the reachable
+    component of a paper instance via ``--figure``), persisted to a
+    kill-safe sharded store; ``--resume`` continues with zero
+    recomputation and reports are byte-identical however the work was
+    scheduled.
 """
 
 from __future__ import annotations
@@ -357,6 +364,122 @@ def cmd_classify(args) -> int:
     return 0
 
 
+def _explore_game(args):
+    """Build the (game, seed kwargs, tag) an ``explore`` invocation names."""
+    from .registry import REGISTRY
+
+    if args.figure:
+        from .instances.figures import ALL_INSTANCES
+
+        if args.figure not in ALL_INSTANCES:
+            raise ValueError(
+                f"unknown figure {args.figure!r} "
+                f"(choose from {', '.join(ALL_INSTANCES)})"
+            )
+        inst = ALL_INSTANCES[args.figure]()
+        name = type(inst.game).__name__
+        return inst.game, {"start": inst.network}, f"{args.figure}", name
+    if args.n is None:
+        raise ValueError("pass --n for an exhaustive census, or --figure "
+                         "to explore a paper instance's reachable component")
+    params = {"mode": args.mode}
+    game_comp = REGISTRY.get("game", args.game)
+    if game_comp.param("alpha"):
+        params["alpha"] = args.alpha if args.alpha is not None else str(args.n / 4)
+    game = REGISTRY.build("game", args.game, params, n=args.n)
+    tag = f"{args.game}-{args.mode}-n{args.n}"
+    if "alpha" in params:
+        tag += f"-a{params['alpha']}"
+    return game, {"n": args.n}, tag, args.game
+
+
+def cmd_explore(args) -> int:
+    """``repro explore``: response-graph census with resume/shard."""
+    import os
+
+    from .registry import REGISTRY
+    from .statespace.store import CampaignMismatch, ExplorationStore, write_report
+
+    try:
+        game, seed_kwargs, tag, game_name = _explore_game(args)
+        workload = REGISTRY.build(
+            "workload", "explore",
+            {"moves": args.moves, "agent_filter": args.policy,
+             "max_states": args.max_states},
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.moves != "best":
+        tag += f"-{args.moves}"
+    if args.policy != "all":
+        tag += f"-{args.policy}"
+    root = os.path.join(args.results_dir, f"explore-{tag}")
+    store = ExplorationStore(root)
+
+    if args.status:
+        # read counters straight off the record rows — no blob decoding,
+        # no graph rebuild, no census analysis.  Seed keys are hashed
+        # (not priced) so pending/complete are exact.
+        if store.load_manifest() is None:
+            print(f"no exploration under {root}")
+            return 1
+        from .statespace.encode import state_key
+        from .statespace.expand import ownership_matters
+        from .statespace.explore import enumerate_states
+
+        own = ownership_matters(game)
+        seeds = (seed_kwargs["start"],) if "start" in seed_kwargs else (
+            enumerate_states(seed_kwargs["n"], with_ownership=own))
+        status = store.status(state_key(s, own).hex() for s in seeds)
+        print(f"exploration {tag} in {root}: {status['expanded']} states "
+              f"expanded, {status['discovered']} discovered, "
+              f"{status['pending']} pending"
+              + (" — complete" if status["complete"] else ""))
+        return 0
+
+    try:
+        shard = (0, 1)
+        if args.shard:
+            try:
+                i, k = args.shard.split("/")
+                shard = (int(i), int(k))
+            except ValueError:
+                raise ValueError(
+                    f"--shard expects i/k (e.g. 0/4), got {args.shard!r}"
+                ) from None
+        if not args.resume and store.record_files():
+            raise CampaignMismatch(
+                f"{root} already holds exploration records; pass --resume to "
+                "continue it, or choose a fresh --results-dir"
+            )
+        report = workload(
+            game, store=store, shard=shard, backend=args.backend,
+            n_jobs=args.jobs, max_expansions=args.max_expansions,
+            game_name=game_name, **seed_kwargs,
+        )
+    except (CampaignMismatch, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    # persist before printing: a closed output pipe must not lose the report
+    if report.complete:
+        write_report(store, report)
+    print(report.summary())
+    if report.complete:
+        print(f"report written to {os.path.join(root, 'report.json')}")
+        if args.json:
+            print(report.json_bytes().decode())
+        return 0
+    if report.truncated:
+        print(f"(truncated: the --max-states budget ({args.max_states}) cut "
+              "discovery short; resuming can never complete this store — "
+              "raise --max-states and use a fresh --results-dir)")
+    else:
+        print(f"(partial: {report.pending} states pending — rerun with "
+              "--resume, or run the other shards)")
+    return 1
+
+
 def cmd_export(args) -> int:
     """``repro export``: dump an instance (network + cycle) as JSON."""
     import json
@@ -464,6 +587,43 @@ def main(argv=None) -> int:
     p.add_argument("--max-states", type=int, default=20_000)
     p.set_defaults(func=cmd_classify)
 
+    p = sub.add_parser(
+        "explore",
+        help="exhaustive response-graph census (equilibria, cycles, basins)")
+    p.add_argument("--game", default="sg", choices=REGISTRY.names("game"))
+    p.add_argument("--mode", default="sum", choices=["sum", "max"])
+    p.add_argument("--alpha", type=str, default=None,
+                   help="edge price spec for priced games (default n/4)")
+    p.add_argument("--n", type=int, default=None,
+                   help="census over every connected configuration of size n")
+    p.add_argument("--figure", default=None,
+                   help="explore a paper instance's reachable component instead")
+    p.add_argument("--moves", default="best", choices=["best", "improving"],
+                   help="best-response graph or full better-response graph")
+    p.add_argument("--policy", default="all",
+                   choices=["all", "maxcost", "first_unhappy"],
+                   help="which unhappy agents may move")
+    p.add_argument("--backend", default=None,
+                   choices=["dense", "incremental"],
+                   help="distance engine (the graph is identical either way)")
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.add_argument("--max-expansions", type=int, default=None,
+                   help="cap on new expansions this invocation")
+    p.add_argument("--results-dir", default="results",
+                   help="store root; the exploration lives in <dir>/explore-<tag>")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an existing store (without this flag a "
+                        "store that already holds records is refused)")
+    p.add_argument("--shard", type=str, default=None, metavar="i/k",
+                   help="expand only states whose key digest maps to shard i")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes per frontier layer")
+    p.add_argument("--status", action="store_true",
+                   help="print progress and exit (expands nothing)")
+    p.add_argument("--json", action="store_true",
+                   help="also print the full canonical report JSON")
+    p.set_defaults(func=cmd_explore)
+
     p = sub.add_parser("export", help="dump an instance as JSON")
     p.add_argument("figure")
     p.set_defaults(func=cmd_export)
@@ -473,4 +633,17 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # `repro ... | head` closes our stdout mid-print; everything
+        # durable (stores, reports) is written before printing, so the
+        # work is intact — but the command's real exit code is unknown
+        # here, so report the conventional 128+SIGPIPE instead of
+        # masking a failure as success.  Redirect stdout to devnull so
+        # the interpreter's shutdown flush cannot raise a second time.
+        import os
+        import signal
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(128 + signal.SIGPIPE)

@@ -28,6 +28,7 @@ __all__ = [
     "unhappy_agents",
     "is_pairwise_stable",
     "stable_tree_shape",
+    "equilibrium_census",
 ]
 
 
@@ -78,6 +79,36 @@ def is_pairwise_stable(game: BilateralGame, net: Network) -> Tuple[bool, Optiona
             if (better_u and nohurt_v) or (better_v and nohurt_u):
                 return False, f"edge {{{net.label(u)},{net.label(v)}}} is mutually beneficial"
     return True, None
+
+
+def equilibrium_census(
+    game: Game,
+    n: Optional[int] = None,
+    start: Optional[Network] = None,
+    **kwargs,
+):
+    """All pure Nash equilibria of a game's configuration space.
+
+    A thin analysis-layer front for the statespace explorer
+    (:func:`repro.statespace.explore.explore`): pass ``n`` for the
+    exhaustive census over every connected configuration, or ``start``
+    for the reachable component of one network.  Returns
+    ``(equilibria, report)`` where ``equilibria`` is the list of stable
+    networks (decoded, in the report's sorted-digest order) and
+    ``report`` the full :class:`~repro.statespace.explore.ExplorationReport`
+    (cycles, basin sizes, longest improving path).
+
+    The explorer's sinks are cross-checked against :func:`is_stable`
+    brute force before returning — this function never hands back a
+    census the stability oracle disagrees with.
+    """
+    from ..statespace.explore import explore, verify_sinks
+
+    report = explore(game, start=start, n=n, **kwargs)
+    verify_sinks(report, game)
+    graph = report.graph
+    nets = [graph.network(graph.index[bytes.fromhex(h)]) for h in report.equilibria]
+    return nets, report
 
 
 def stable_tree_shape(net: Network) -> str:

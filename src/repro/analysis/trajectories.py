@@ -17,6 +17,7 @@ from ..core.dynamics import RunResult
 from ..core.games import Game
 from ..core.network import Network
 from ..graphs import adjacency as adj
+from ..statespace.encode import state_key
 
 __all__ = ["TrajectoryTrace", "trace_run", "summarize", "annotate_cycle"]
 
@@ -69,7 +70,7 @@ def trace_run(game: Game, initial: Network, result: RunResult) -> TrajectoryTrac
         trace.mover.append(rec.agent)
         trace.kind.append(rec.kind)
         snapshot()
-    if net.state_key() != result.final.state_key():
+    if state_key(net) != state_key(result.final):
         raise ValueError("trajectory does not replay to the recorded final state")
     return trace
 
@@ -94,8 +95,10 @@ def annotate_cycle(initial: Network, result: RunResult, with_ownership: bool = T
     such results raise instead.
 
     ``with_ownership`` selects the state notion (see
-    :meth:`~repro.core.network.Network.state_key`): ownership-sensitive
-    for the asymmetric games, topology-only for the Swap Game.
+    :func:`repro.statespace.encode.state_key`, the canonical helper this
+    shares with ``run_dynamics``'s live cycle detector and the
+    statespace explorer): ownership-sensitive for the asymmetric games,
+    topology-only for the Swap Game.
     """
     if result.steps > 0 and not result.trajectory:
         raise ValueError(
@@ -105,10 +108,10 @@ def annotate_cycle(initial: Network, result: RunResult, with_ownership: bool = T
     if not result.trajectory:
         return result
     net = initial.copy()
-    seen = {net.state_key(with_ownership): 0}
+    seen = {state_key(net, with_ownership): 0}
     for i, rec in enumerate(result.trajectory):
         rec.move.apply(net)
-        key = net.state_key(with_ownership)
+        key = state_key(net, with_ownership)
         if key in seen:
             return replace(
                 result, status="cycled", cycle_start=seen[key], cycle_end=i + 1

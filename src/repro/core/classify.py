@@ -27,7 +27,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from .games import Game
-from .moves import Move
 from .network import Network
 
 __all__ = [
@@ -62,12 +61,6 @@ class StateGraph:
         return [i for i, s in enumerate(self.successors) if not s]
 
 
-def _state_key(game: Game, net: Network) -> bytes:
-    from ..instances.verify import _ownership_matters
-
-    return net.state_key(with_ownership=_ownership_matters(game))
-
-
 def explore_improving_moves(
     game: Game,
     start: Network,
@@ -79,14 +72,22 @@ def explore_improving_moves(
     Returns the reachable response digraph.  ``truncated`` is set when
     the budget is exhausted; callers must treat conclusions as partial
     in that case.
+
+    Successor enumeration runs through the statespace subsystem's
+    :class:`~repro.statespace.expand.Expander` — the same memoized,
+    canonically-keyed transition rules the exhaustive explorer uses —
+    so the two response-graph builders can never drift apart on move
+    semantics or state identity.
     """
+    from ..statespace.expand import Expander
+
+    expander = Expander(game, moves="best" if best_response_only else "improving")
     index: Dict[bytes, int] = {}
     states: List[Network] = []
     successors: List[List[int]] = []
     truncated = False
 
-    def intern(net: Network) -> int:
-        key = _state_key(game, net)
+    def intern(key: bytes, net: Network) -> int:
         if key in index:
             return index[key]
         idx = len(states)
@@ -95,7 +96,7 @@ def explore_improving_moves(
         successors.append([])
         return idx
 
-    frontier = [intern(start)]
+    frontier = [intern(expander.key(start), start)]
     explored: Set[int] = set()
     while frontier:
         i = frontier.pop()
@@ -103,20 +104,11 @@ def explore_improving_moves(
             continue
         explored.add(i)
         net = states[i]
-        moves: List[Move] = []
-        if best_response_only:
-            for u in range(net.n):
-                moves.extend(game.best_responses(net, u).moves)
-        else:
-            for u in range(net.n):
-                moves.extend(m for m, _ in game.improving_moves(net, u))
-        for move in moves:
-            nxt = net.copy()
-            move.apply(nxt)
-            if len(states) >= max_states and _state_key(game, nxt) not in index:
+        for trans, nxt in expander.expand_with_successors(net):
+            if len(states) >= max_states and trans.succ_key not in index:
                 truncated = True
                 continue
-            j = intern(nxt)
+            j = intern(trans.succ_key, nxt)
             if j not in successors[i]:
                 successors[i].append(j)
             if j not in explored:

@@ -88,6 +88,15 @@ class EdgeCostRule:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EdgeCostRule({self.name})"
 
+    def __reduce__(self):
+        # the builtin rules close over lambdas, which cannot pickle; they
+        # are module singletons, so pickling by name restores the exact
+        # object — this is what lets whole Game objects ship to worker
+        # processes (the statespace explorer's parallel frontier)
+        if _BUILTIN_RULES.get(self.name) is self:
+            return (_rule_by_name, (self.name,))
+        return super().__reduce__()
+
 
 #: swap games: no edge-cost term at all.
 SWAP_EDGE_COST = EdgeCostRule(
@@ -109,6 +118,15 @@ EQUAL_SPLIT = EdgeCostRule(
     "equal-split",
     vector_fn=lambda net, alpha: (alpha / 2.0) * net.A.sum(axis=1).astype(np.float64),
 )
+
+#: name -> singleton, for pickling the lambda-built rules by identity.
+_BUILTIN_RULES = {
+    rule.name: rule for rule in (SWAP_EDGE_COST, OWNER_PAYS, EQUAL_SPLIT)
+}
+
+
+def _rule_by_name(name: str) -> EdgeCostRule:
+    return _BUILTIN_RULES[name]
 
 
 def distance_costs(net: Network, mode: DistanceMode) -> np.ndarray:

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from ..graphs.incremental import DistanceBackend, make_backend
+from ..statespace.encode import state_key
 from .games import EPS, BestResponse, Game
 from .moves import Buy, Delete, Move, Swap, move_kind
 from .network import Network
@@ -234,9 +235,12 @@ def run_dynamics(
     backend_obj, select = resolve_backend(policy, net, backend)
     policy.reset()
     trajectory: List[StepRecord] = []
+    # visited states are keyed by the canonical bit-packed digest shared
+    # with annotate_cycle and the statespace explorer (ownership-aware:
+    # the asymmetric games' state notion, and a refinement of the SG's)
     seen: Dict[bytes, int] = {}
     if detect_cycles:
-        seen[net.state_key()] = 0
+        seen[state_key(net)] = 0
 
     def finish(status: str, steps: int, cycle_start: Optional[int] = None) -> RunResult:
         return RunResult(
@@ -259,7 +263,7 @@ def run_dynamics(
                 StepRecord(step, br.agent, move, kind, br.cost_before, br.best_cost)
             )
         if detect_cycles:
-            key = net.state_key()
+            key = state_key(net)
             if key in seen:
                 return finish("cycled", step + 1, cycle_start=seen[key])
             seen[key] = step + 1
@@ -417,7 +421,7 @@ class SimultaneousDynamics:
         net = initial.copy() if copy_initial else initial
         backend_obj = resolve_auto_backend(net, backend)
         records: List[RoundRecord] = []
-        seen: Dict[bytes, int] = {net.state_key(): 0}
+        seen: Dict[bytes, int] = {state_key(net): 0}
         steps = 0
 
         def finish(status: str, rounds: int, cycle_start=None, cycle_end=None):
@@ -463,7 +467,7 @@ class SimultaneousDynamics:
                 steps += 1
             records.append(record)
             if self.detect_cycles:
-                key = net.state_key()
+                key = state_key(net)
                 if key in seen:
                     return finish(
                         "cycled", rnd + 1, cycle_start=seen[key], cycle_end=rnd + 1

@@ -134,9 +134,22 @@ def _manifest_for(
 
 
 class CampaignStore:
-    """Append-only JSONL record store of one campaign directory."""
+    """Append-only JSONL record store of one campaign directory.
+
+    The storage discipline — a validated ``manifest.json`` identity plus
+    append-only sharded ``<prefix>-<i>of<k>.jsonl`` record files with
+    torn-line kill-safety — is format, not campaign logic; subclasses
+    (the statespace exploration store) reuse it by overriding
+    :attr:`RECORD_PREFIX` / :attr:`REQUIRED_KEYS` / :attr:`KIND`.
+    """
 
     MANIFEST = "manifest.json"
+    #: record-file basename prefix (``<prefix>-<i>of<k>.jsonl``).
+    RECORD_PREFIX = "trials"
+    #: keys a well-formed record line must carry; others are skipped.
+    REQUIRED_KEYS = frozenset({"cell", "trial", "steps", "status"})
+    #: human name used in mismatch errors.
+    KIND = "campaign"
 
     def __init__(self, root) -> None:
         self.root = Path(root)
@@ -163,12 +176,20 @@ class CampaignStore:
         existing = self.load_manifest()
         if existing is not None:
             if existing != manifest:
+                # name the keys that actually differ — the manifest
+                # layout varies by store kind (campaign vs exploration),
+                # so the detail must be derived, not hardcoded
+                differing = sorted(
+                    k for k in set(existing) | set(manifest)
+                    if existing.get(k) != manifest.get(k)
+                )
+                detail = ", ".join(
+                    f"{k}: stored {existing.get(k)!r} != requested {manifest.get(k)!r}"
+                    for k in differing
+                )
                 raise CampaignMismatch(
-                    f"{self.root} holds a different campaign "
-                    f"(stored figure={existing.get('figure')!r} "
-                    f"seed={existing.get('seed')} trials={existing.get('trials')} "
-                    f"n_values={existing.get('n_values')}); use a fresh directory "
-                    "or rerun with the original parameters"
+                    f"{self.root} holds a different {self.KIND} ({detail}); "
+                    "use a fresh directory or rerun with the original parameters"
                 )
             return
         self.root.mkdir(parents=True, exist_ok=True)
@@ -182,7 +203,7 @@ class CampaignStore:
 
     # -- trial records -----------------------------------------------------
     def record_files(self) -> List[Path]:
-        return sorted(self.root.glob("trials-*.jsonl"))
+        return sorted(self.root.glob(f"{self.RECORD_PREFIX}-*.jsonl"))
 
     def load_records(self) -> List[dict]:
         """All well-formed trial records across every shard file.
@@ -202,7 +223,7 @@ class CampaignStore:
                         rec = json.loads(line)
                     except json.JSONDecodeError:
                         continue
-                    if isinstance(rec, dict) and {"cell", "trial", "steps", "status"} <= rec.keys():
+                    if isinstance(rec, dict) and self.REQUIRED_KEYS <= rec.keys():
                         records.append(rec)
         return records
 
@@ -225,7 +246,7 @@ class CampaignStore:
         :meth:`load_records` skips) and every new record starts clean.
         """
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self.root / f"trials-{shard[0]}of{shard[1]}.jsonl"
+        path = self.root / f"{self.RECORD_PREFIX}-{shard[0]}of{shard[1]}.jsonl"
         fh = open(path, "a+b")
         try:
             fh.seek(0, os.SEEK_END)

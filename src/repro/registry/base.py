@@ -39,8 +39,12 @@ __all__ = [
     "CATEGORIES",
 ]
 
-#: the axes of one experiment scenario, in presentation order.
-CATEGORIES: Tuple[str, ...] = ("game", "policy", "dynamics", "topology", "metric")
+#: the axes of one experiment scenario, in presentation order, plus the
+#: ``workload`` category: whole-state-space analyses (e.g. the
+#: statespace explorer) that consume a game rather than ride a scenario.
+CATEGORIES: Tuple[str, ...] = (
+    "game", "policy", "dynamics", "topology", "metric", "workload"
+)
 
 #: sentinel distinguishing "no default" (required) from "defaults to None".
 _REQUIRED = object()

@@ -66,6 +66,7 @@ __all__ = [
     "DynamicsKind",
     "TrialOutcome",
     "TrialContext",
+    "ExploreWorkload",
     "resolve_alpha_spec",
     "resolve_m_spec",
 ]
@@ -494,6 +495,53 @@ def _m_diameter(ctx: TrialContext) -> Optional[float]:
 @_metric("edges", "edge count of the final network")
 def _m_edges_metric(ctx: TrialContext) -> int:
     return int(ctx.final.m)
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExploreWorkload:
+    """Configured response-graph exploration (see
+    :func:`repro.statespace.explore.explore`).
+
+    The workload binds the transition rules (moveset, agent filter,
+    state budget); the call supplies the game and the seed (a start
+    network or an exhaustive size ``n``) plus execution details (store,
+    shard, backend, jobs) that never change the resulting graph.
+    """
+
+    moves: str
+    agent_filter: str
+    max_states: int
+
+    def __call__(self, game: Game, **kwargs):
+        from ..statespace.explore import explore  # deferred: statespace imports core
+
+        return explore(
+            game, moves=self.moves, agent_filter=self.agent_filter,
+            max_states=self.max_states, **kwargs,
+        )
+
+
+@REGISTRY.register(
+    "workload", "explore",
+    params=(
+        Param("moves", "str", default="best", choices=("best", "improving"),
+              doc="best-response graph, or every strictly improving move"),
+        Param("agent_filter", "str", default="all",
+              choices=("all", "maxcost", "first_unhappy"),
+              doc="which unhappy agents may move (the policy-moveset axis)"),
+        Param("max_states", "int", default=200_000,
+              doc="state-discovery budget; beyond it the census is truncated"),
+    ),
+    doc="exhaustive response-graph explorer: equilibrium/cycle census via "
+        "sharded resumable frontier BFS + SCC analysis",
+)
+def _explore_workload(moves: str, agent_filter: str, max_states: int) -> ExploreWorkload:
+    return ExploreWorkload(moves, agent_filter, max_states)
 
 
 @_metric("cost_ratio",

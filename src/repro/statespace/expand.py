@@ -1,0 +1,183 @@
+"""Transition expander: price all agents' moves out of one state.
+
+The explorer treats a ``(game, moveset, agent filter)`` triple as a
+transition system over network configurations; this module computes one
+state's outgoing transitions.  Everything is deterministic — moves come
+out in the games' canonical order (agents ascending, the GBG operation
+preference inside each best-response set) — so exploration is exactly
+reproducible across resumes, shards and worker processes.
+
+* ``moves="best"`` expands each agent's full best-response set (the
+  paper's best-response dynamics: any tie-break rule's trajectory is a
+  path in this graph).
+* ``moves="improving"`` expands *every* strictly improving move (the
+  better-response digraph of the FIPG/WAG classification).
+
+The *agent filter* is the policy-moveset axis: which unhappy agents the
+activation discipline would ever let move.  ``"all"`` is the full
+response graph; ``"maxcost"`` restricts movers to the highest-cost
+unhappy agents (every tie-break of the paper's max cost policy is then
+a path in the restricted graph); ``"first_unhappy"`` keeps only the
+smallest-index unhappy agent (that policy's deterministic process).
+
+Expansion is memoized per ``(state key, agent)`` — frontier BFS reaches
+the same state through many predecessors, and shard files replayed on
+resume revisit states freely; each (state, agent) pair is priced through
+the :class:`~repro.graphs.incremental.DistanceBackend` exactly once per
+expander.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.games import EPS, Game
+from ..core.moves import Move, move_to_dict
+from ..core.network import Network
+from ..graphs.incremental import DistanceBackend, make_backend
+from .encode import state_key
+
+__all__ = [
+    "AGENT_FILTERS",
+    "MOVESETS",
+    "Transition",
+    "Expander",
+    "ownership_matters",
+]
+
+MOVESETS = ("best", "improving")
+AGENT_FILTERS = ("all", "maxcost", "first_unhappy")
+
+
+def ownership_matters(game: Game) -> bool:
+    """The state notion of a game (see ``instances.verify``): ownership
+    is part of the strategy profile in the asymmetric games, meaningless
+    in the SG and the bilateral game."""
+    from ..instances.verify import _ownership_matters
+
+    return _ownership_matters(game)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One directed edge of the response graph."""
+
+    agent: int
+    move: Move
+    #: canonical :func:`~repro.statespace.encode.state_key` of the successor
+    succ_key: bytes
+
+    def move_dict(self) -> dict:
+        """JSON form of the move (stable, see ``move_to_dict``)."""
+        return move_to_dict(self.move)
+
+
+class Expander:
+    """Deterministic, memoized successor enumeration for one triple.
+
+    Parameters
+    ----------
+    game:
+        the game whose move rules define the transitions.
+    moves:
+        ``"best"`` (best-response graph) or ``"improving"``
+        (better-response graph).
+    agent_filter:
+        ``"all"`` | ``"maxcost"`` | ``"first_unhappy"`` — which unhappy
+        agents may move (see the module docstring).
+    backend:
+        distance engine spec (``"dense"`` | ``"incremental"`` | a
+        prebuilt backend | ``None`` = dense).  All backends produce
+        bit-identical transitions; the choice is purely performance.
+    """
+
+    def __init__(
+        self,
+        game: Game,
+        moves: str = "best",
+        agent_filter: str = "all",
+        backend: Union[str, DistanceBackend, None] = None,
+    ):
+        if moves not in MOVESETS:
+            raise ValueError(f"moves must be one of {MOVESETS}, got {moves!r}")
+        if agent_filter not in AGENT_FILTERS:
+            raise ValueError(
+                f"agent_filter must be one of {AGENT_FILTERS}, got {agent_filter!r}"
+            )
+        self.game = game
+        self.moves = moves
+        self.agent_filter = agent_filter
+        self.backend = make_backend(backend)
+        self.with_ownership = ownership_matters(game)
+        #: (state key, agent) -> tuple of that agent's moves in the state
+        self._agent_memo: Dict[Tuple[bytes, int], Tuple[Move, ...]] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    # -- keys --------------------------------------------------------------
+    def key(self, net: Network) -> bytes:
+        """The canonical state key under this game's state notion."""
+        return state_key(net, with_ownership=self.with_ownership)
+
+    # -- per-agent moves ---------------------------------------------------
+    def _moves_for(self, key: bytes, net: Network, u: int) -> Tuple[Move, ...]:
+        memo_key = (key, u)
+        hit = self._agent_memo.get(memo_key)
+        if hit is not None:
+            self.memo_hits += 1
+            return hit
+        self.memo_misses += 1
+        if self.moves == "best":
+            out = tuple(self.game.best_responses(net, u, backend=self.backend).moves)
+        else:
+            out = tuple(m for m, _ in self.game.improving_moves(net, u, backend=self.backend))
+        self._agent_memo[memo_key] = out
+        return out
+
+    def _movers(self, net: Network, unhappy: List[int]) -> List[int]:
+        """Apply the agent filter to the unhappy set."""
+        if not unhappy or self.agent_filter == "all":
+            return unhappy
+        if self.agent_filter == "first_unhappy":
+            return [unhappy[0]]
+        # maxcost: every unhappy agent whose current cost ties the max
+        # (each is a possible pick of the paper's max cost policy)
+        costs = {u: self.game.current_cost(net, u, backend=self.backend) for u in unhappy}
+        top = max(costs.values())
+        return [u for u in unhappy if costs[u] >= top - EPS]
+
+    # -- expansion ---------------------------------------------------------
+    def expand(self, net: Network, key: Optional[bytes] = None) -> List[Transition]:
+        """All outgoing transitions of ``net``, in canonical order.
+
+        An empty list means the state is a sink — a pure Nash
+        equilibrium under the configured moveset and agent filter.
+        """
+        return [t for t, _ in self.expand_with_successors(net, key)]
+
+    def expand_with_successors(
+        self, net: Network, key: Optional[bytes] = None
+    ) -> List[Tuple[Transition, Network]]:
+        """:meth:`expand` plus each transition's successor network.
+
+        The successor is materialised anyway to compute its key; the
+        explorer needs it again for the persisted blob, so handing it
+        back avoids a second copy-and-apply per edge.
+        """
+        if key is None:
+            key = self.key(net)
+        unhappy = [
+            u for u in range(net.n) if self._moves_for(key, net, u)
+        ]
+        out: List[Tuple[Transition, Network]] = []
+        for u in self._movers(net, unhappy):
+            for move in self._moves_for(key, net, u):
+                succ = net.copy()
+                move.apply(succ)
+                out.append((Transition(u, move, self.key(succ)), succ))
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        """Memoization counters (plus the backend's own instrumentation)."""
+        return {"memo_hits": self.memo_hits, "memo_misses": self.memo_misses}

@@ -37,6 +37,26 @@ class TestStability:
         assert stable_tree_shape(triangle) == "not-a-tree"
 
 
+class TestEquilibriumCensus:
+    def test_census_lists_stable_networks(self):
+        from repro.analysis.equilibria import equilibrium_census
+
+        game = SwapGame("sum")
+        nets, report = equilibrium_census(game, n=4)
+        assert len(nets) == report.n_equilibria == 26
+        assert all(is_stable(game, net) for net in nets)
+        # the star is among the SG's stable states
+        assert any(stable_tree_shape(net) == "star" for net in nets)
+
+    def test_census_of_reachable_component(self):
+        from repro.analysis.equilibria import equilibrium_census
+
+        game = SwapGame("sum")
+        nets, report = equilibrium_census(game, start=path_network(4))
+        assert nets and report.complete
+        assert all(is_stable(game, net) for net in nets)
+
+
 class TestPairwiseStability:
     def test_star_pairwise_stable_moderate_alpha(self):
         game = BilateralGame("sum", alpha=5.0)

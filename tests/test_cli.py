@@ -131,11 +131,13 @@ class TestScenarios:
     def test_scenarios_lists_every_category(self, capsys):
         assert main(["scenarios"]) == 0
         out = capsys.readouterr().out
-        for category in ("game", "policy", "dynamics", "topology", "metric"):
+        for category in ("game", "policy", "dynamics", "topology", "metric",
+                         "workload"):
             assert f"{category} (" in out
         # a few load-bearing components with their schemas
         assert "gbg" in out and "noisy" in out and "simultaneous" in out
         assert "epsilon: float required" in out
+        assert "explore" in out
 
     def test_scenarios_single_category(self, capsys):
         assert main(["scenarios", "policy"]) == 0
@@ -241,3 +243,71 @@ class TestClassify:
         assert rc == 0
         out = capsys.readouterr().out
         assert "weakly-acyclic=False" in out
+
+
+class TestExplore:
+    def test_sg_census_n4(self, capsys, tmp_path):
+        rc = main(["explore", "--game", "sg", "--n", "4",
+                   "--results-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "38 states" in out
+        assert "equilibria: 26" in out
+        assert "cycles: none" in out
+        assert (tmp_path / "explore-sg-sum-n4" / "report.json").exists()
+
+    def test_kill_resume_byte_identical_report(self, capsys, tmp_path):
+        """The acceptance criterion: a killed run resumed later writes
+        the exact bytes of a straight-through run's report."""
+        a, b = tmp_path / "a", tmp_path / "b"
+        assert main(["explore", "--game", "asg", "--n", "3",
+                     "--results-dir", str(a)]) == 0
+        # "kill" after 5 expansions, then resume
+        assert main(["explore", "--game", "asg", "--n", "3",
+                     "--max-expansions", "5", "--results-dir", str(b)]) == 1
+        assert main(["explore", "--game", "asg", "--n", "3", "--resume",
+                     "--results-dir", str(b)]) == 0
+        ra = (a / "explore-asg-sum-n3" / "report.json").read_bytes()
+        rb = (b / "explore-asg-sum-n3" / "report.json").read_bytes()
+        assert ra == rb
+
+    def test_existing_store_refused_without_resume(self, capsys, tmp_path):
+        args = ["explore", "--game", "asg", "--n", "3",
+                "--results-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert main(args) == 2
+        assert "pass --resume" in capsys.readouterr().out
+
+    def test_fig3_reachable_component(self, capsys, tmp_path):
+        rc = main(["explore", "--figure", "fig3", "--results-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 states" in out
+        assert "best-response cycles (non-trivial SCCs): 1" in out
+
+    def test_shard_then_drain(self, capsys, tmp_path):
+        base = ["explore", "--game", "asg", "--n", "3",
+                "--results-dir", str(tmp_path)]
+        first = main(base + ["--shard", "0/2"])
+        assert first == 1  # shard 1's states still pending
+        for _ in range(20):
+            a = main(base + ["--resume", "--shard", "0/2"])
+            b = main(base + ["--resume", "--shard", "1/2"])
+            if a == 0 and b == 0:
+                break
+        assert a == 0 and b == 0
+
+    def test_status(self, capsys, tmp_path):
+        base = ["explore", "--game", "sg", "--n", "4",
+                "--results-dir", str(tmp_path)]
+        assert main(base + ["--status"]) == 1
+        assert "no exploration under" in capsys.readouterr().out
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--status"]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_requires_n_or_figure(self, capsys, tmp_path):
+        assert main(["explore", "--game", "sg",
+                     "--results-dir", str(tmp_path)]) == 2
+        assert "pass --n" in capsys.readouterr().out

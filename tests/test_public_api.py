@@ -22,6 +22,11 @@ MODULES = [
     "repro.experiments.runner",
     "repro.experiments.campaign",
     "repro.graphs.generators",
+    "repro.statespace",
+    "repro.statespace.encode",
+    "repro.statespace.expand",
+    "repro.statespace.explore",
+    "repro.statespace.store",
 ]
 
 
@@ -47,6 +52,36 @@ def test_scheduler_api_is_top_level():
     ):
         assert name in repro.__all__
         assert getattr(repro, name) is not None
+
+
+def test_statespace_api_is_top_level():
+    """The statespace explorer surface is exported from ``repro``."""
+    import repro
+
+    for name in (
+        "state_key",
+        "encode_state",
+        "decode_state",
+        "Expander",
+        "ResponseGraph",
+        "ExplorationReport",
+        "ExplorationStore",
+        "enumerate_states",
+        "explore",
+        "verify_sinks",
+    ):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+
+
+def test_workload_category_registered():
+    """The workload axis exists and the explorer registered into it."""
+    import repro
+
+    assert "workload" in repro.CATEGORIES
+    assert repro.REGISTRY.has("workload", "explore")
+    workload = repro.REGISTRY.build("workload", "explore")
+    assert callable(workload)
 
 
 def test_registry_api_is_top_level():
