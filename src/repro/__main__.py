@@ -18,6 +18,15 @@ Commands
     resume with zero recomputation, shards merge byte-identically.
     ``--spec FILE`` campaigns over JSON scenarios; stored rows carry the
     scenarios' metric payloads.
+``drain fig7 [--workers W] [--lease-ttl S] [--compact] ...``
+    Drain a figure campaign with a lease-based worker fleet: units are
+    claimed under heartbeat leases, crashed or stalled workers lose
+    their lease and the unit is reassigned — ``kill -9`` safe, and the
+    drained aggregate is byte-identical to a serial run.
+``compact RESULTS_DIR [--prune] [--status]``
+    Fold a store's JSONL records into the columnar analytics layout
+    (parquet when pyarrow is available, a pure-python column-chunk
+    format otherwise) so status and aggregation stop re-parsing JSONL.
 ``classify [figures...]``
     Exhaustive reachable-dynamics classification of instance states.
 ``explore --game sg --n 4 [--moves best] [--policy all] [--shard i/k]``
@@ -33,6 +42,29 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+
+def parse_shard(text):
+    """Parse a ``--shard i/k`` flag into a validated ``(i, k)`` pair.
+
+    Shared by every sharded verb (``campaign``, ``explore``, ``drain``)
+    so a malformed flag always fails with the same friendly message
+    instead of a raw unpacking traceback.  ``None`` means unsharded.
+    """
+    if text is None:
+        return (0, 1)
+    try:
+        i_text, k_text = text.split("/")
+        i, k = int(i_text), int(k_text)
+    except ValueError:
+        raise ValueError(
+            f"--shard expects i/k (e.g. 0/4), got {text!r}"
+        ) from None
+    if not 0 <= i < k:
+        raise ValueError(
+            f"--shard expects 0 <= i < k (0-based, e.g. 0/4), got {text!r}"
+        )
+    return (i, k)
 
 
 def cmd_verify(args) -> int:
@@ -315,10 +347,7 @@ def cmd_campaign(args) -> int:
         return 0
 
     try:
-        shard = (0, 1)
-        if args.shard:
-            i, k = args.shard.split("/")
-            shard = (int(i), int(k))
+        shard = parse_shard(args.shard)
         n_values = [int(x) for x in args.n.split(",")] if args.n else None
         run = run_campaign(
             spec, root, seed=args.seed, trials=args.trials, n_values=n_values,
@@ -339,6 +368,99 @@ def cmd_campaign(args) -> int:
     else:
         print("(partial aggregate — rerun with --resume to continue, "
               "or run other shards)")
+    return 0
+
+
+def cmd_drain(args) -> int:
+    """``repro drain``: drain a figure campaign with a worker fleet."""
+    import os
+
+    from .experiments.campaign import CampaignMismatch
+    from .experiments.fabric import FabricError
+    from .experiments.report import format_figure
+    from .registry import REGISTRY
+
+    try:
+        figure, spec = _resolve_grid(args)
+        workload = REGISTRY.build(
+            "workload", "drain",
+            {"workers": args.workers, "lease_ttl": args.lease_ttl,
+             "unit_trials": args.unit_trials, "max_retries": args.max_retries},
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    root = os.path.join(args.results_dir, f"{figure}-seed{args.seed}")
+    n_values = [int(x) for x in args.n.split(",")] if args.n else None
+
+    try:
+        source = workload.campaign_source(
+            spec, seed=args.seed, trials=args.trials, n_values=n_values,
+        )
+        report = workload(source, root)
+    except (CampaignMismatch, FabricError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"drained campaign {figure} in {root}: "
+          f"{report.units_done} units done across {report.workers} workers"
+          + (f", {report.reassigned} leases reassigned" if report.reassigned else "")
+          + (f", {report.respawned} workers respawned" if report.respawned else ""))
+    if args.compact and (report.complete or not report.units_failed):
+        from .experiments.campaign import CampaignStore
+        from .experiments.columnar import compact_store
+
+        summary = compact_store(CampaignStore(root), prune=args.prune)
+        print(f"compacted {summary['rows']} records to {summary['format']}"
+              + (f", pruned {len(summary['pruned'])} JSONL files"
+                 if summary["pruned"] else ""))
+    if report.complete:
+        print()
+        print(format_figure(report.result, "mean"))
+        print()
+        print(format_figure(report.result, "max"))
+        return 0
+    failed = ", ".join(u["id"] for u in report.failed) or "none"
+    print(f"(incomplete: {report.units_failed} units exhausted retries — "
+          f"failed units: {failed}; inspect {os.path.join(root, 'fabric', 'failed')} "
+          "and rerun to retry the rest)")
+    return 1
+
+
+def cmd_compact(args) -> int:
+    """``repro compact``: fold a store's JSONL records into columnar."""
+    import json
+
+    from .experiments.campaign import CampaignStore
+    from .experiments.columnar import ColumnarStore, compact_store
+    from .statespace.store import ExplorationStore
+
+    store = CampaignStore(args.root)
+    manifest = store.load_manifest()
+    if manifest is None:
+        print(f"no store manifest under {args.root}")
+        return 1
+    if manifest.get("kind") == "statespace":
+        store = ExplorationStore(args.root)
+
+    if args.status:
+        columnar = ColumnarStore(args.root)
+        if not columnar.exists():
+            print(f"{args.root}: not compacted")
+            return 1
+        state = "fresh" if columnar.fresh(store) else "stale"
+        m = columnar.load_manifest()
+        print(f"{args.root}: {state} {m['format']} compaction of "
+              f"{m['rows']} records "
+              f"({len(store.record_files())} JSONL files on disk)")
+        return 0 if state == "fresh" else 1
+
+    summary = compact_store(store, prune=args.prune)
+    print(f"compacted {summary['rows']} records in {args.root} to "
+          f"{summary['format']} "
+          f"({summary['chunks']} chunks, {len(summary['columns'])} columns)")
+    if summary["pruned"]:
+        print(f"pruned {len(summary['pruned'])} JSONL files: "
+              f"{json.dumps(summary['pruned'])}")
     return 0
 
 
@@ -439,15 +561,7 @@ def cmd_explore(args) -> int:
         return 0
 
     try:
-        shard = (0, 1)
-        if args.shard:
-            try:
-                i, k = args.shard.split("/")
-                shard = (int(i), int(k))
-            except ValueError:
-                raise ValueError(
-                    f"--shard expects i/k (e.g. 0/4), got {args.shard!r}"
-                ) from None
+        shard = parse_shard(args.shard)
         if not args.resume and store.record_files():
             raise CampaignMismatch(
                 f"{root} already holds exploration records; pass --resume to "
@@ -580,6 +694,40 @@ def main(argv=None) -> int:
     p.add_argument("--status", action="store_true",
                    help="print progress and exit (runs nothing)")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "drain",
+        help="drain a campaign with a lease-based worker fleet (crash-safe)")
+    _add_grid_arguments(p)
+    p.add_argument("--results-dir", default="results",
+                   help="store root; the campaign lives in <dir>/<figure>-seed<seed>")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes draining the work queue")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   help="seconds without a heartbeat before a unit is "
+                        "reassigned to another worker")
+    p.add_argument("--unit-trials", type=int, default=8,
+                   help="trial indices per work unit")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="reassignments a unit survives before it is parked "
+                        "as failed")
+    p.add_argument("--compact", action="store_true",
+                   help="fold the JSONL records into the columnar layout "
+                        "after draining")
+    p.add_argument("--prune", action="store_true",
+                   help="with --compact: delete the JSONL files the "
+                        "compaction fully covers")
+    p.set_defaults(func=cmd_drain)
+
+    p = sub.add_parser(
+        "compact",
+        help="fold a campaign/exploration store into the columnar layout")
+    p.add_argument("root", help="store directory (e.g. results/fig7-seed0)")
+    p.add_argument("--prune", action="store_true",
+                   help="delete the JSONL files the compaction fully covers")
+    p.add_argument("--status", action="store_true",
+                   help="report compaction freshness and exit (writes nothing)")
+    p.set_defaults(func=cmd_compact)
 
     p = sub.add_parser("classify", help="reachable-dynamics classification")
     p.add_argument("figures", nargs="*")

@@ -8,17 +8,33 @@ One module per experiment family:
 * :mod:`topology` — Figures 12 and 14 (initial-topology comparison).
 * :mod:`runner` — the seeded sweep engine (serial or multi-process).
 * :mod:`campaign` — the durable, resumable, sharded campaign store.
+* :mod:`fabric` — the lease-based work-queue coordinator that drains
+  campaigns and explorations with a crash-tolerant worker fleet.
+* :mod:`columnar` — columnar compaction of the JSONL stores for
+  streaming status/aggregation queries.
 * :mod:`report` — ASCII rendering of the papers' plotted series.
 """
 
-from . import asg_budget, campaign, density, gbg, report, runner, topology  # noqa: F401
+from . import (  # noqa: F401
+    asg_budget,
+    campaign,
+    columnar,
+    density,
+    fabric,
+    gbg,
+    report,
+    runner,
+    topology,
+)
 from .config import CellConfig, ExperimentConfig, FigureSpec
 from .runner import TrialRecord
 
 __all__ = [
     "asg_budget",
     "campaign",
+    "columnar",
     "density",
+    "fabric",
     "gbg",
     "topology",
     "runner",

@@ -205,15 +205,27 @@ class CampaignStore:
     def record_files(self) -> List[Path]:
         return sorted(self.root.glob(f"{self.RECORD_PREFIX}-*.jsonl"))
 
-    def load_records(self) -> List[dict]:
-        """All well-formed trial records across every shard file.
+    def record_file_sizes(self) -> Dict[str, int]:
+        """``file name -> byte size`` snapshot of every record file.
+
+        The columnar compactor stores this snapshot so a later reader
+        can tell (with one ``stat`` per file, no line parsing) whether
+        the compacted layout still reflects the JSONL contents.
+        """
+        return {p.name: p.stat().st_size for p in self.record_files()}
+
+    def iter_records(self, files: Optional[Sequence[Path]] = None) -> Iterable[dict]:
+        """Stream all well-formed records across every shard file.
 
         Torn or garbage lines (a kill mid-append, disk-full partial
         writes) are skipped — append-only JSONL means everything before
-        them is still valid.
+        them is still valid.  One record is held in memory at a time,
+        so million-row stores stream through aggregation and compaction
+        without materializing.  ``files`` restricts the scan to a
+        subset of record files (the columnar merge path reads only the
+        files its compaction does not cover).
         """
-        records = []
-        for path in self.record_files():
+        for path in self.record_files() if files is None else files:
             with open(path, "r") as fh:
                 for line in fh:
                     line = line.strip()
@@ -224,8 +236,26 @@ class CampaignStore:
                     except json.JSONDecodeError:
                         continue
                     if isinstance(rec, dict) and self.REQUIRED_KEYS <= rec.keys():
-                        records.append(rec)
-        return records
+                        yield rec
+
+    def load_records(self) -> List[dict]:
+        """All well-formed trial records, materialized (see :meth:`iter_records`)."""
+        return list(self.iter_records())
+
+    def iter_all_records(self) -> Iterable[dict]:
+        """Stream every record, preferring the columnar compaction.
+
+        Identical to :meth:`iter_records` when no compaction exists;
+        with one, compacted rows stream out of the columnar layout and
+        only *uncovered* JSONL files (new or grown since compaction)
+        are parsed — a pruned store (JSONL deleted after compaction)
+        still yields its full history.  Rows from a file that grew
+        since compaction can appear twice; every consumer of record
+        streams dedupes on its natural key, so duplicates are harmless.
+        """
+        from .columnar import iter_store_records  # local: avoid import cycle
+
+        return iter_store_records(self)
 
     def completed_index(self, records: Optional[Iterable[dict]] = None) -> Dict[str, set]:
         """``cell key -> set of completed trial indices``."""
@@ -237,7 +267,16 @@ class CampaignStore:
         return done
 
     def open_writer(self, shard: Tuple[int, int]):
-        """Append-mode handle of this shard's record file.
+        """Append-mode handle of this shard's record file (see
+        :meth:`open_tagged_writer`)."""
+        return self.open_tagged_writer(f"{shard[0]}of{shard[1]}")
+
+    def open_tagged_writer(self, tag: str):
+        """Append-mode handle of the record file ``<prefix>-<tag>.jsonl``.
+
+        ``tag`` is any filesystem-safe suffix — shard runs use
+        ``iofk``, fabric workers their worker id — and every such file
+        is picked up by :meth:`record_files` regardless of spelling.
 
         If a previous process died mid-append the file ends in a torn
         half-line; appending straight after it would weld the next
@@ -246,7 +285,7 @@ class CampaignStore:
         :meth:`load_records` skips) and every new record starts clean.
         """
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self.root / f"{self.RECORD_PREFIX}-{shard[0]}of{shard[1]}.jsonl"
+        path = self.root / f"{self.RECORD_PREFIX}-{tag}.jsonl"
         fh = open(path, "a+b")
         try:
             fh.seek(0, os.SEEK_END)
@@ -372,6 +411,7 @@ def run_campaign(
     max_steps_factor: int = 50,
     max_new_trials: Optional[int] = None,
     resume: bool = True,
+    aggregate: bool = True,
 ) -> CampaignRun:
     """Run (or continue) a campaign of ``spec`` against the store at
     ``root``.
@@ -386,6 +426,12 @@ def run_campaign(
     records; it never deletes anything (resumability is the default —
     the flag exists so scripted fresh runs fail loudly instead of
     silently absorbing stale results).
+
+    ``aggregate=False`` skips the post-run aggregation pass (the
+    returned :class:`CampaignRun` carries an empty result and progress
+    counters derived from this invocation's own bookkeeping) — fabric
+    workers drain many small work units and must not re-read the whole
+    store after each one.
     """
     i, k = shard
     if not (0 <= i < k):
@@ -405,7 +451,7 @@ def run_campaign(
         _manifest_for(eff_spec, seed, use_trials, use_ns, max_steps_factor, cells)
     )
 
-    done = store.completed_index()
+    done = store.completed_index(store.iter_all_records())
     pending: List[tuple] = []
     skipped = 0
     total = len(cells) * use_trials
@@ -437,13 +483,21 @@ def run_campaign(
                         store.append(fh, _trial_row(key, idx, rec))
                         new += 1
 
-    records = store.load_records()
-    result = aggregate_records(eff_spec, cells, records, use_trials)
-    done_now = sum(
-        len({t for t in idxs if 0 <= t < use_trials})
-        for key, idxs in store.completed_index(records).items()
-        if key in {c.key for c in cells}
-    )
+    if aggregate:
+        records = list(store.iter_all_records())
+        result = aggregate_records(eff_spec, cells, records, use_trials)
+        done_now = sum(
+            len({t for t in idxs if 0 <= t < use_trials})
+            for key, idxs in store.completed_index(records).items()
+            if key in {c.key for c in cells}
+        )
+    else:
+        # cheap path: `skipped` already counts every in-range completed
+        # trial found on entry (across all shards), so no re-read is
+        # needed — a concurrent writer may have added more since, but a
+        # worker's local report only ever claims its own view
+        result = FigureResult(eff_spec)
+        done_now = skipped + new
     return CampaignRun(
         result=result,
         new_trials=new,
@@ -453,24 +507,44 @@ def run_campaign(
     )
 
 
-def campaign_status(root) -> dict:
+def campaign_status(root, prefer_columnar: bool = True) -> dict:
     """Progress summary of the store at ``root`` (no trials are run).
 
     Returns ``{"total", "done", "remaining", "complete", "cells":
     {key: {"series", "n", "done", "trials"}}}``; raises
     ``FileNotFoundError`` when no manifest exists.
+
+    When a *fresh* columnar compaction exists (see
+    :mod:`repro.experiments.columnar` — its manifest records a byte-size
+    snapshot of the record files it folded), the per-cell counts are
+    answered from the compaction summary without reading a single JSONL
+    line; a store that grew since compaction falls back to the full
+    scan.  ``prefer_columnar=False`` forces the scan.
     """
     store = CampaignStore(root)
     manifest = store.load_manifest()
     if manifest is None:
         raise FileNotFoundError(f"no campaign manifest under {store.root}")
     trials = int(manifest["trials"])
-    done = store.completed_index()
+    done_counts: Optional[Dict[str, int]] = None
+    if prefer_columnar:
+        from .columnar import ColumnarStore  # local: columnar imports campaign
+
+        columnar = ColumnarStore(root)
+        if columnar.exists() and columnar.fresh(store):
+            done_counts = columnar.cells_done(trials)
+    if done_counts is None:
+        done = store.completed_index(store.iter_all_records())
+        done_counts = {
+            cell["key"]: len({t for t in done.get(cell["key"], set())
+                              if 0 <= t < trials})
+            for cell in manifest["cells"]
+        }
     cells = {}
     total_done = 0
     for cell in manifest["cells"]:
         key = cell["key"]
-        count = len({t for t in done.get(key, set()) if 0 <= t < trials})
+        count = int(done_counts.get(key, 0))
         total_done += count
         cells[key] = {
             "series": cell["series"],

@@ -1,0 +1,467 @@
+"""Columnar compaction of JSONL record stores, with streaming analytics.
+
+A record store (:class:`~repro.experiments.campaign.CampaignStore` or the
+statespace :class:`~repro.statespace.store.ExplorationStore`) accumulates
+append-only JSONL shard files.  That layout is perfect for kill-safe
+writes and terrible for analytics: answering ``campaign_status`` or
+re-aggregating a million-trial sweep means parsing every line of every
+file on every query.  *Compaction* folds the record files into a
+columnar layout under ``<root>/columnar/``::
+
+    <root>/columnar/
+      manifest.json        # format, row count, per-chunk layout, a
+                           # byte-size snapshot of the source files, and
+                           # a pre-computed per-cell completion summary
+      chunk<k>-col<j>.json # fallback format: one column of one chunk
+      records.parquet      # pyarrow format (when pyarrow is installed)
+
+Two formats share the manifest:
+
+* **parquet** — used when ``pyarrow`` is importable.  Every value is
+  stored as a JSON-encoded string column (lossless and schema-stable
+  whatever the rows hold); parquet's dictionary + page compression does
+  the rest.
+* **chunks** — the pure-python fallback: rows are split into chunks of
+  ``chunk_rows``, each chunk stores one JSON file per column, and
+  low-cardinality string columns are dictionary-encoded
+  (``{"dict": [...], "codes": [...]}``).  No dependencies beyond the
+  standard library.
+
+Freshness is decided by *byte sizes, not content*: the manifest records
+``{file name: size}`` for every record file at compaction time, and the
+compaction is fresh while every **currently present** record file still
+has exactly its snapshotted size.  A grown, shrunk, or new file makes it
+stale; a *deleted* file does not — its rows live on in the compaction,
+which is what makes ``compact_store(prune=True)`` safe: the JSONL files
+can be removed and status/resume/aggregation keep working out of the
+columnar layout alone.  (Append-only discipline means same-size-but-
+different-content never happens outside deliberate tampering.)
+
+The module is deliberately free of imports from the campaign module —
+any object with ``root`` / ``RECORD_PREFIX`` / ``REQUIRED_KEYS`` /
+``record_files()`` / ``record_file_sizes()`` / ``iter_records()`` is a
+compactable store, which is how both the campaign and exploration
+stores ride the same code.
+
+Format note: record rows are JSON objects that never hold ``null``
+values (both stores guarantee this), so ``None`` in a column is
+reserved to mean "key absent in this row" and dropped on read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "COLUMNAR_VERSION",
+    "ColumnarStore",
+    "compact_store",
+    "iter_store_records",
+]
+
+COLUMNAR_VERSION = 1
+
+#: subdirectory of the store root holding the compaction.
+DIRNAME = "columnar"
+
+#: default rows per chunk in the pure-python format.
+DEFAULT_CHUNK_ROWS = 65536
+
+#: a string column chunk with at most this many distinct values is
+#: dictionary-encoded.
+DICT_MAX = 255
+
+
+def _pyarrow():
+    """The ``pyarrow`` module, or ``None`` when it is not installed."""
+    try:
+        import pyarrow  # noqa: F401  (availability probe)
+        import pyarrow.parquet  # noqa: F401
+
+        return pyarrow
+    except Exception:
+        return None
+
+
+def _encode_column(values: Sequence) -> dict:
+    """One column chunk as its JSON payload (fallback format).
+
+    All-string (or ``None``) columns with few distinct values are
+    dictionary-encoded; everything else is stored verbatim — the values
+    came from JSON lines, so a JSON array holds them losslessly.
+    """
+    if all(v is None or isinstance(v, str) for v in values):
+        index: Dict[Optional[str], int] = {}
+        codes = []
+        for v in values:
+            if v not in index:
+                if len(index) > DICT_MAX:
+                    break
+                index[v] = len(index)
+            codes.append(index[v])
+        else:
+            if len(index) < len(values):
+                return {"dict": list(index), "codes": codes}
+    return {"data": list(values)}
+
+
+def _decode_column(payload: dict) -> List:
+    if "dict" in payload:
+        d = payload["dict"]
+        return [d[c] for c in payload["codes"]]
+    return payload["data"]
+
+
+class ColumnarStore:
+    """Reader of the columnar compaction under ``<root>/columnar/``."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.dir = self.root / DIRNAME
+
+    def manifest_path(self) -> Path:
+        return self.dir / "manifest.json"
+
+    def exists(self) -> bool:
+        return self.manifest_path().exists()
+
+    def load_manifest(self) -> Optional[dict]:
+        path = self.manifest_path()
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # -- freshness ---------------------------------------------------------
+    def fresh(self, store) -> bool:
+        """Whether the compaction still reflects ``store``'s records.
+
+        True iff every record file *currently on disk* has exactly the
+        byte size snapshotted at compaction time.  Files that were
+        deleted since (``prune=True``) stay fresh — their rows are in
+        the compaction; files that grew, shrank, or appeared are not.
+        """
+        manifest = self.load_manifest()
+        if manifest is None:
+            return False
+        snapshot = manifest.get("source", {})
+        return all(
+            snapshot.get(name) == size
+            for name, size in store.record_file_sizes().items()
+        )
+
+    def covered_files(self, store) -> set:
+        """Names of record files whose rows the compaction fully holds."""
+        manifest = self.load_manifest()
+        if manifest is None:
+            return set()
+        snapshot = manifest.get("source", {})
+        return {
+            name for name, size in store.record_file_sizes().items()
+            if snapshot.get(name) == size
+        }
+
+    # -- summaries ---------------------------------------------------------
+    def rows(self) -> int:
+        manifest = self.load_manifest()
+        return int(manifest["rows"]) if manifest else 0
+
+    def cells_done(self, trials: Optional[int] = None) -> Optional[Dict[str, int]]:
+        """Per-cell completed-trial counts from the compaction summary.
+
+        The summary was computed against the store manifest's ``trials``
+        bound at compaction time; pass the current bound to make a
+        changed bound return ``None`` (forcing a scan) instead of stale
+        counts.  ``None`` also means "no summary stored" (exploration
+        stores, or a campaign store without a manifest).
+        """
+        manifest = self.load_manifest() or {}
+        summary = manifest.get("summary") or {}
+        counts = summary.get("cells_done")
+        if counts is None:
+            return None
+        if trials is not None and summary.get("trials") != trials:
+            return None
+        return dict(counts)
+
+    # -- row access --------------------------------------------------------
+    def iter_rows(self) -> Iterator[dict]:
+        """Stream every compacted record, one dict at a time.
+
+        Rows come back key-equal to the JSONL records they were folded
+        from (``None`` columns are absent keys — see the module note).
+        """
+        manifest = self.load_manifest()
+        if manifest is None:
+            return
+        if manifest["format"] == "parquet":
+            yield from self._iter_parquet()
+        else:
+            yield from self._iter_chunks(manifest)
+
+    def _iter_chunks(self, manifest: dict) -> Iterator[dict]:
+        for k, chunk in enumerate(manifest["chunks"]):
+            columns = chunk["columns"]
+            data = []
+            for j in range(len(columns)):
+                payload = json.loads(
+                    (self.dir / f"chunk{k}-col{j}.json").read_text()
+                )
+                data.append(_decode_column(payload))
+            for values in zip(*data):
+                yield {
+                    name: v for name, v in zip(columns, values) if v is not None
+                }
+
+    def _iter_parquet(self) -> Iterator[dict]:
+        pa = _pyarrow()
+        if pa is None:
+            raise RuntimeError(
+                f"{self.dir} was compacted with pyarrow, which is no "
+                "longer importable; recompact with compact_store()"
+            )
+        import pyarrow.parquet as pq
+
+        table = pq.read_table(self.dir / "records.parquet")
+        names = table.column_names
+        for batch in table.to_batches():
+            columns = [batch.column(i).to_pylist() for i in range(len(names))]
+            for values in zip(*columns):
+                yield {
+                    name: json.loads(v)
+                    for name, v in zip(names, values)
+                    if v is not None
+                }
+
+
+def _campaign_summary(store, rows_seen: Dict[str, set]) -> dict:
+    """The pre-computed per-cell completion counts (campaign stores).
+
+    Counts are bounded to the store manifest's ``trials`` — exactly the
+    filter ``campaign_status`` applies — and the bound is recorded so a
+    later bound change invalidates the summary instead of skewing it.
+    """
+    manifest_path = store.root / "manifest.json"
+    if not manifest_path.exists():
+        return {}
+    try:
+        trials = int(json.loads(manifest_path.read_text())["trials"])
+    except (ValueError, KeyError, json.JSONDecodeError):
+        return {}
+    return {
+        "kind": "campaign",
+        "trials": trials,
+        "cells_done": {
+            cell: len({t for t in idxs if 0 <= t < trials})
+            for cell, idxs in sorted(rows_seen.items())
+        },
+    }
+
+
+def _write_chunk(directory: Path, k: int, rows: List[dict]) -> dict:
+    """Write one chunk (one file per column) and return its metadata."""
+    columns = sorted({key for row in rows for key in row})
+    for j, name in enumerate(columns):
+        payload = _encode_column([row.get(name) for row in rows])
+        (directory / f"chunk{k}-col{j}.json").write_text(
+            json.dumps(payload, separators=(",", ":"))
+        )
+    return {"rows": len(rows), "columns": columns}
+
+
+def _compact_chunks(store, directory: Path, chunk_rows: int) -> dict:
+    """Stream the store into the pure-python chunk layout."""
+    chunks: List[dict] = []
+    buffer: List[dict] = []
+    rows = 0
+    cells: Dict[str, set] = {}
+    campaign_shaped = {"cell", "trial"} <= set(store.REQUIRED_KEYS)
+    for rec in store.iter_records():
+        buffer.append(rec)
+        rows += 1
+        if campaign_shaped:
+            cells.setdefault(rec["cell"], set()).add(int(rec["trial"]))
+        if len(buffer) >= chunk_rows:
+            chunks.append(_write_chunk(directory, len(chunks), buffer))
+            buffer = []
+    if buffer:
+        chunks.append(_write_chunk(directory, len(chunks), buffer))
+    return {
+        "format": "chunks",
+        "rows": rows,
+        "chunks": chunks,
+        "columns": sorted({c for chunk in chunks for c in chunk["columns"]}),
+        "summary": _campaign_summary(store, cells) if campaign_shaped else {},
+    }
+
+
+def _compact_parquet(store, directory: Path, chunk_rows: int) -> dict:
+    """Stream the store into a parquet file (pyarrow available)."""
+    import pyarrow as pa
+    import pyarrow.parquet as pq
+
+    rows = 0
+    cells: Dict[str, set] = {}
+    columns: List[str] = []
+    campaign_shaped = {"cell", "trial"} <= set(store.REQUIRED_KEYS)
+    # one sizing pass to fix the schema (column set) before writing —
+    # parquet wants a stable schema across batches, and record files may
+    # introduce keys (e.g. "metrics") partway through
+    names = set()
+    for rec in store.iter_records():
+        names.update(rec)
+    columns = sorted(names)
+    schema = pa.schema([(name, pa.string()) for name in columns])
+    writer = pq.ParquetWriter(directory / "records.parquet", schema)
+    try:
+        buffer: List[dict] = []
+
+        def flush():
+            arrays = [
+                pa.array(
+                    [
+                        None if name not in row
+                        else json.dumps(row[name], sort_keys=True)
+                        for row in buffer
+                    ],
+                    type=pa.string(),
+                )
+                for name in columns
+            ]
+            writer.write_table(pa.Table.from_arrays(arrays, schema=schema))
+
+        for rec in store.iter_records():
+            buffer.append(rec)
+            rows += 1
+            if campaign_shaped:
+                cells.setdefault(rec["cell"], set()).add(int(rec["trial"]))
+            if len(buffer) >= chunk_rows:
+                flush()
+                buffer = []
+        if buffer:
+            flush()
+    finally:
+        writer.close()
+    return {
+        "format": "parquet",
+        "rows": rows,
+        "chunks": [],
+        "columns": columns,
+        "summary": _campaign_summary(store, cells) if campaign_shaped else {},
+    }
+
+
+def compact_store(
+    store,
+    *,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    prune: bool = False,
+    use_parquet: Optional[bool] = None,
+) -> dict:
+    """Fold ``store``'s JSONL record files into ``<root>/columnar/``.
+
+    The source byte-size snapshot is taken *before* reading, so a
+    writer appending concurrently can only make the result conservative
+    (the grown file reads as stale and is re-scanned), never wrong.
+    The new layout is assembled in a temp directory and swapped in with
+    renames; a kill mid-compaction leaves either the old compaction or
+    none — never a half-readable one (the manifest is written last).
+
+    ``prune=True`` deletes every record file the compaction fully
+    covers (current size still equal to the snapshot).  ``use_parquet``
+    forces the format; default is parquet when pyarrow imports, the
+    pure-python chunk layout otherwise.
+
+    Returns a summary dict: ``{"format", "rows", "chunks", "columns",
+    "source", "pruned"}``.
+    """
+    columnar = ColumnarStore(store.root)
+    snapshot = store.record_file_sizes()
+    tmp = columnar.root / f".{DIRNAME}-{os.getpid()}.tmp"
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
+    try:
+        pa = _pyarrow() if use_parquet in (None, True) else None
+        if use_parquet and pa is None:
+            raise RuntimeError("use_parquet=True but pyarrow is not importable")
+        if pa is not None:
+            try:
+                result = _compact_parquet(store, tmp, chunk_rows)
+            except Exception:
+                if use_parquet:  # explicitly requested — surface it
+                    raise
+                # fall back to the dependency-free layout
+                for stale in tmp.iterdir():
+                    stale.unlink()
+                result = _compact_chunks(store, tmp, chunk_rows)
+        else:
+            result = _compact_chunks(store, tmp, chunk_rows)
+
+        manifest = {
+            "version": COLUMNAR_VERSION,
+            "record_prefix": store.RECORD_PREFIX,
+            "source": snapshot,
+            **result,
+        }
+        # manifest last: its presence is what makes the layout readable
+        (tmp / "manifest.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True)
+        )
+
+        old = columnar.root / f".{DIRNAME}-old-{os.getpid()}"
+        if old.exists():
+            shutil.rmtree(old)
+        if columnar.dir.exists():
+            os.rename(columnar.dir, old)
+        os.rename(tmp, columnar.dir)
+        if old.exists():
+            shutil.rmtree(old)
+    finally:
+        if tmp.exists():
+            shutil.rmtree(tmp)
+
+    pruned = []
+    if prune:
+        for name, size in snapshot.items():
+            path = store.root / name
+            try:
+                # only files still exactly as compacted — a file that
+                # grew since the snapshot holds rows the compaction
+                # does not, and must survive
+                if path.stat().st_size == size:
+                    path.unlink()
+                    pruned.append(name)
+            except OSError:
+                continue
+    summary = dict(manifest)
+    summary.pop("summary", None)
+    summary["chunks"] = len(result["chunks"]) if result["format"] == "chunks" else 1
+    summary["pruned"] = sorted(pruned)
+    return summary
+
+
+def iter_store_records(store) -> Iterator[dict]:
+    """Every record of ``store``, reading JSONL as little as possible.
+
+    Yields the compacted rows (when a compaction exists) followed by
+    the rows of every record file the compaction does not fully cover —
+    new files, files that grew since compaction, and everything when no
+    compaction exists.  A grown file's pre-compaction rows are yielded
+    twice (once from each side); that is deliberate: records are
+    idempotent facts and every consumer (``completed_index``,
+    ``aggregate_records``, ``expanded_rows``) already dedupes, so a
+    duplicate is always harmless while a missing record never is.
+    """
+    columnar = ColumnarStore(store.root)
+    if not columnar.exists():
+        yield from store.iter_records()
+        return
+    covered = columnar.covered_files(store)
+    yield from columnar.iter_rows()
+    uncovered = [p for p in store.record_files() if p.name not in covered]
+    if uncovered:
+        yield from store.iter_records(files=uncovered)

@@ -1,0 +1,788 @@
+"""Distributed campaign fabric: a file-backed work-queue coordinator.
+
+The campaign and exploration stores already make *records* kill-safe
+and order-independent — aggregates are pure functions of the deduped
+completed set.  What they lack is scheduling: ``--shard i/k`` splits
+work statically, so a stalled or killed shard leaves a hole a human
+must notice and relaunch.  The fabric closes that gap with a classic
+lease-based work queue, built entirely out of atomic filesystem
+renames so it needs no server, no locks, and no dependencies::
+
+    <root>/fabric/
+      pending/<unit id>.json   # unclaimed work units
+      leased/<unit id>.json    # claimed; file mtime is the heartbeat
+      done/<unit id>.json      # completed (result payload inside)
+      failed/<unit id>.json    # exceeded max_retries; drain() reports
+
+Lifecycle of a unit (the coordinator's state machine)::
+
+    pending --claim (os.rename)--> leased --complete--> done
+       ^                             |
+       |        lease expired        |--worker error / heartbeat
+       +--- (retries <= max) --------+   stopped > ttl ago
+                                     |
+                                     +--(retries > max)--> failed
+
+*Claiming* is ``os.rename(pending/u, leased/u)`` — atomic on POSIX, so
+exactly one worker wins a unit no matter how many race.  *Heartbeats*
+are ``os.utime`` on the leased file from a daemon thread in the
+worker; the coordinator reaps any lease whose mtime is older than the
+TTL and moves it back to pending (with bounded retries and a
+``not_before`` backoff stamp) — crash recovery and straggler
+re-assignment are the same code path.
+
+The fabric deliberately provides **at-least-once** execution, not
+exactly-once: a reaped worker that was merely slow may finish its unit
+anyway, so the same records can be written twice, and a completed unit
+may be completed again.  That is safe *by store design* — records
+dedupe on their natural key — which is what makes ``kill -9`` proof
+cheap: the drained aggregate is byte-identical to a serial run no
+matter which workers died (see ``tests/experiments/test_fabric.py``).
+
+Work *sources* adapt a problem to the queue.  :class:`CampaignSource`
+decomposes a figure grid into blocks of trial indices (one plan round;
+trial seeds are position-based, so any index subset reproduces the
+serial trials exactly).  :class:`ExplorationSource` re-plans every
+round — frontier BFS discovers work as it goes — handing out shard
+slices with bounded expansion budgets until the store reports the
+graph complete.
+
+``python -m repro drain`` is the CLI front end; the registry exposes
+the coordinator knobs as the ``drain`` workload component.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .campaign import (
+    CampaignStore,
+    _plan_cells,
+    _manifest_for,
+    _trial_row,
+    aggregate_records,
+)
+from .config import FigureSpec
+from .runner import run_trial, trial_jobs
+
+__all__ = [
+    "FabricError",
+    "Lease",
+    "WorkQueue",
+    "CampaignSource",
+    "ExplorationSource",
+    "Coordinator",
+    "DrainReport",
+    "drain_campaign",
+    "worker_main",
+]
+
+DEFAULT_LEASE_TTL = 30.0
+DEFAULT_UNIT_TRIALS = 8
+DEFAULT_MAX_RETRIES = 3
+
+#: subdirectory of the store root holding the queue.
+QUEUE_DIRNAME = "fabric"
+
+
+class FabricError(RuntimeError):
+    """The drain cannot make progress (units exhausted retries, or the
+    worker fleet keeps dying faster than it can be respawned)."""
+
+
+@dataclass
+class Lease:
+    """One claimed work unit: its payload and its leased-file path."""
+
+    unit: dict
+    path: Path
+
+    @property
+    def id(self) -> str:
+        return self.unit["id"]
+
+
+class WorkQueue:
+    """The four-directory queue under ``<root>/fabric/``.
+
+    Every transition is a single ``os.rename``/``os.replace`` (atomic
+    within a filesystem), so any number of workers and one coordinator
+    can share the queue with no further coordination.  All operations
+    tolerate losing a race: a failed rename means someone else moved
+    the unit first, and the loser simply moves on.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root) / QUEUE_DIRNAME
+        self.pending = self.root / "pending"
+        self.leased = self.root / "leased"
+        self.done = self.root / "done"
+        self.failed = self.root / "failed"
+
+    def ensure_dirs(self) -> None:
+        for d in (self.pending, self.leased, self.done, self.failed):
+            d.mkdir(parents=True, exist_ok=True)
+
+    def _write(self, path: Path, unit: dict) -> None:
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(unit, sort_keys=True))
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _read(path: Path) -> Optional[dict]:
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None  # claimed/moved by a racer, or torn mid-write
+
+    def _ids(self, directory: Path) -> set:
+        return {p.stem for p in directory.glob("*.json")}
+
+    def initialize(self, units: Sequence[dict]) -> int:
+        """Enqueue every unit not already known to the queue.
+
+        Idempotent: units whose id exists in *any* state directory are
+        skipped, so re-planning after a crash (or the exploration
+        source re-offering last round's shards) never duplicates work.
+        Returns the number of units actually enqueued.
+        """
+        self.ensure_dirs()
+        known = set()
+        for d in (self.pending, self.leased, self.done, self.failed):
+            known |= self._ids(d)
+        new = 0
+        for unit in units:
+            if unit["id"] in known:
+                continue
+            stamped = dict(unit)
+            stamped.setdefault("retries", 0)
+            stamped.setdefault("not_before", 0.0)
+            self._write(self.pending / f"{unit['id']}.json", stamped)
+            new += 1
+        return new
+
+    def claim(self, worker: str) -> Optional[Lease]:
+        """Atomically claim one eligible pending unit, or ``None``.
+
+        Units still inside their retry backoff window (``not_before``
+        in the future) are passed over.  The heartbeat clock starts
+        immediately: the rename leaves the file with its old mtime,
+        which may already be near the TTL, so ``utime`` runs before
+        the lease is handed out.
+        """
+        now = time.time()
+        for path in sorted(self.pending.glob("*.json")):
+            unit = self._read(path)
+            if unit is None or unit.get("not_before", 0.0) > now:
+                continue
+            target = self.leased / path.name
+            try:
+                os.rename(path, target)
+            except OSError:
+                continue  # lost the race for this unit — try the next
+            unit["owner"] = worker
+            try:
+                self._write(target, unit)
+                os.utime(target)
+            except OSError:
+                pass  # reaped at the instant of claim; treat as claimed anyway
+            return Lease(unit, target)
+        return None
+
+    def heartbeat(self, lease: Lease) -> None:
+        """Refresh the lease (mtime := now).  A vanished file means the
+        coordinator reaped us; the eventual complete() sorts it out."""
+        try:
+            os.utime(lease.path)
+        except OSError:
+            pass
+
+    def complete(self, lease: Lease, result: Optional[dict] = None) -> bool:
+        """Move the lease to done.  Returns ``False`` when the unit was
+        already completed by someone else (double completion after a
+        reassignment) — harmless, the records both executions wrote
+        dedupe in the store.
+        """
+        target = self.done / lease.path.name
+        if target.exists():
+            try:
+                lease.path.unlink()
+            except OSError:
+                pass
+            return False
+        unit = dict(lease.unit)
+        if result is not None:
+            unit["result"] = result
+        # write done first, then drop the lease: a kill between the two
+        # leaves both files, and the reaper treats done as authoritative
+        self._write(target, unit)
+        try:
+            lease.path.unlink()
+        except OSError:
+            pass
+        return True
+
+    def fail_lease(
+        self,
+        lease: Lease,
+        error: str,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff: float = 0.5,
+    ) -> None:
+        """A worker hit an exception: requeue with backoff, or park in
+        ``failed/`` once retries are exhausted."""
+        unit = dict(lease.unit)
+        unit["retries"] = int(unit.get("retries", 0)) + 1
+        unit["error"] = error
+        unit.pop("owner", None)
+        if unit["retries"] > max_retries:
+            self._write(self.failed / lease.path.name, unit)
+        else:
+            unit["not_before"] = time.time() + backoff * unit["retries"]
+            self._write(self.pending / lease.path.name, unit)
+        try:
+            lease.path.unlink()
+        except OSError:
+            pass
+
+    def reap_expired(
+        self,
+        ttl: float,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff: float = 0.5,
+    ) -> Tuple[int, int]:
+        """Requeue every lease whose heartbeat is older than ``ttl``.
+
+        The owner may be dead (crash, ``kill -9``) or merely stalled —
+        the fabric cannot tell and does not need to: if the old owner
+        later finishes, its completion lands as a harmless duplicate.
+        Returns ``(requeued, failed)`` counts.
+        """
+        now = time.time()
+        requeued = failed = 0
+        for path in sorted(self.leased.glob("*.json")):
+            if (self.done / path.name).exists():
+                # completed during a previous reap race — just clean up
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # completed/failed between glob and stat
+            if age <= ttl:
+                continue
+            unit = self._read(path)
+            if unit is None:
+                continue
+            lease = Lease(unit, path)
+            retries = int(unit.get("retries", 0)) + 1
+            if retries > max_retries:
+                self.fail_lease(lease, f"lease expired (attempt {retries})",
+                                max_retries=0)
+                failed += 1
+            else:
+                self.fail_lease(lease, f"lease expired (attempt {retries})",
+                                max_retries=max_retries, backoff=backoff)
+                requeued += 1
+        return requeued, failed
+
+    # -- introspection -----------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        return {
+            "pending": len(self._ids(self.pending)),
+            "leased": len(self._ids(self.leased)),
+            "done": len(self._ids(self.done)),
+            "failed": len(self._ids(self.failed)),
+        }
+
+    def drained(self) -> bool:
+        """No unit is pending or in flight (done/failed only)."""
+        return not self._ids(self.pending) and not self._ids(self.leased)
+
+    def done_units(self) -> List[dict]:
+        return [u for p in sorted(self.done.glob("*.json"))
+                if (u := self._read(p)) is not None]
+
+    def failed_units(self) -> List[dict]:
+        return [u for p in sorted(self.failed.glob("*.json"))
+                if (u := self._read(p)) is not None]
+
+
+# ---------------------------------------------------------------------------
+# work sources
+
+
+class FabricSource:
+    """Adapter from a problem to queue units.  Subclasses implement:
+
+    * ``store(root)`` — the record store the units write into;
+    * ``plan(store, round_index)`` — the units of one planning round
+      (empty list = nothing left to offer this round);
+    * ``execute(unit, store, worker)`` — run one unit, writing records
+      tagged with the worker id;
+    * ``finished(store)`` — whether the whole problem is drained;
+    * ``result(store)`` — the final aggregate (only called when
+      finished).
+
+    ``execute`` must be safe to run twice for the same unit (and
+    concurrently, after a lease reassignment) — the stores guarantee
+    that as long as all writes go through their append discipline.
+    """
+
+    #: rounds a source needs.  Static decompositions (campaign) plan
+    #: once; dynamic ones (exploration) re-plan until finished.
+    multi_round = False
+
+    def store(self, root):
+        raise NotImplementedError
+
+    def plan(self, store, round_index: int) -> List[dict]:
+        raise NotImplementedError
+
+    def execute(self, unit: dict, store, worker: str) -> dict:
+        raise NotImplementedError
+
+    def finished(self, store) -> bool:
+        raise NotImplementedError
+
+    def result(self, store):
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CampaignSource(FabricSource):
+    """A figure-grid campaign as fabric work units.
+
+    Each unit is one cell plus a block of at most ``unit_trials`` trial
+    indices.  The runner's seeding makes trial ``i`` of a cell a pure
+    function of ``(config, n, seed, i)`` — independent of how many
+    trials any invocation asks for — so executing arbitrary blocks on
+    arbitrary workers reproduces the serial campaign record-for-record.
+    """
+
+    spec: FigureSpec
+    seed: int = 0
+    trials: Optional[int] = None
+    n_values: Optional[Sequence[int]] = None
+    max_steps_factor: int = 50
+    unit_trials: int = DEFAULT_UNIT_TRIALS
+
+    def _grid(self):
+        use_trials = self.trials if self.trials is not None else self.spec.trials
+        use_ns = (
+            tuple(self.n_values) if self.n_values is not None
+            else self.spec.n_values
+        )
+        eff_spec = self.spec.scaled(use_ns, use_trials)
+        return eff_spec, use_trials, use_ns, _plan_cells(eff_spec, use_ns)
+
+    def store(self, root) -> CampaignStore:
+        return CampaignStore(root)
+
+    def plan(self, store: CampaignStore, round_index: int) -> List[dict]:
+        if round_index > 0:
+            return []
+        eff_spec, trials, n_values, cells = self._grid()
+        store.ensure_manifest(_manifest_for(
+            eff_spec, self.seed, trials, n_values, self.max_steps_factor, cells
+        ))
+        done = store.completed_index(store.iter_all_records())
+        block = max(1, int(self.unit_trials))
+        units = []
+        for cell in cells:
+            missing = [
+                i for i in range(trials) if i not in done.get(cell.key, set())
+            ]
+            for start in range(0, len(missing), block):
+                indices = missing[start:start + block]
+                units.append({
+                    "id": f"{cell.key}-t{indices[0]}",
+                    "cell": cell.key,
+                    "trials": indices,
+                })
+        return units
+
+    def execute(self, unit: dict, store: CampaignStore, worker: str) -> dict:
+        _, _, _, cells = self._grid()
+        cell = next(c for c in cells if c.key == unit["cell"])
+        indices = [int(i) for i in unit["trials"]]
+        # jobs are cheap descriptors; build through the largest index so
+        # positional seeding matches the serial run exactly
+        jobs = trial_jobs(
+            cell.cfg, cell.n, max(indices) + 1, self.seed, self.max_steps_factor
+        )
+        with store.open_tagged_writer(worker) as fh:
+            for idx in indices:
+                rec = run_trial(jobs[idx])
+                store.append(fh, _trial_row(cell.key, idx, rec))
+        return {"trials": len(indices)}
+
+    def finished(self, store: CampaignStore) -> bool:
+        _, trials, _, cells = self._grid()
+        done = store.completed_index(store.iter_all_records())
+        return all(
+            len({t for t in done.get(c.key, set()) if 0 <= t < trials}) == trials
+            for c in cells
+        )
+
+    def result(self, store: CampaignStore):
+        eff_spec, trials, _, cells = self._grid()
+        return aggregate_records(
+            eff_spec, cells, store.iter_all_records(), trials
+        )
+
+
+@dataclass(frozen=True)
+class ExplorationSource(FabricSource):
+    """A response-graph exploration as fabric work units.
+
+    The frontier is dynamic — expanding a state discovers new work — so
+    the source re-plans every round: each round offers ``shards`` units
+    (shard ``j`` of ``k`` with an expansion budget), workers drain
+    them, and planning repeats until the store holds the complete
+    graph.  Budgets bound a unit's runtime so lease TTLs stay
+    meaningful on frontier spikes.
+    """
+
+    game: object
+    n: Optional[int] = None
+    start: Optional[object] = None
+    moves: str = "best"
+    agent_filter: str = "all"
+    max_states: int = 200_000
+    backend: Optional[str] = None
+    shards: int = 2
+    unit_budget: int = 200
+    game_name: Optional[str] = None
+
+    multi_round = True
+
+    def store(self, root):
+        from ..statespace.store import ExplorationStore
+
+        return ExplorationStore(root)
+
+    def plan(self, store, round_index: int) -> List[dict]:
+        if round_index > 0 and self.finished(store):
+            return []
+        k = max(1, int(self.shards))
+        return [
+            {"id": f"r{round_index}-s{j}", "shard": [j, k],
+             "budget": int(self.unit_budget)}
+            for j in range(k)
+        ]
+
+    def execute(self, unit: dict, store, worker: str) -> dict:
+        from ..statespace.explore import explore
+
+        report = explore(
+            self.game,
+            start=self.start,
+            n=self.n,
+            moves=self.moves,
+            agent_filter=self.agent_filter,
+            backend=self.backend,
+            max_states=self.max_states,
+            store=store,
+            shard=tuple(unit["shard"]),
+            max_expansions=int(unit["budget"]),
+            game_name=self.game_name,
+        )
+        return {"states": report.n_states}
+
+    def _seed_keys(self, store) -> List[str]:
+        from ..statespace.encode import state_key
+        from ..statespace.expand import ownership_matters
+        from ..statespace.explore import enumerate_states
+
+        own = ownership_matters(self.game)
+        seeds = (
+            [self.start] if self.start is not None
+            else enumerate_states(self.n, with_ownership=own)
+        )
+        return [state_key(net, with_ownership=own).hex() for net in seeds]
+
+    def finished(self, store) -> bool:
+        return bool(store.status(self._seed_keys(store))["complete"])
+
+    def result(self, store):
+        from ..statespace.explore import explore
+
+        # the store holds every expansion; this replay builds the report
+        # without expanding anything new
+        return explore(
+            self.game,
+            start=self.start,
+            n=self.n,
+            moves=self.moves,
+            agent_filter=self.agent_filter,
+            backend=self.backend,
+            max_states=self.max_states,
+            store=store,
+            game_name=self.game_name,
+        )
+
+
+# ---------------------------------------------------------------------------
+# workers
+
+
+class _HeartbeatThread(threading.Thread):
+    """Daemon thread refreshing one lease's mtime every ``interval``.
+
+    A daemon thread (not a per-trial callback) keeps sources heartbeat-
+    agnostic: ``execute`` can be one opaque long call and the lease
+    still stays warm.  ``kill -9`` takes the thread down with the
+    worker — exactly the signal the reaper keys on.
+    """
+
+    def __init__(self, path: Path, interval: float) -> None:
+        super().__init__(daemon=True)
+        self.path = path
+        self.interval = interval
+        # NB: not "_stop" — threading.Thread defines a private _stop()
+        # method that an Event attribute would shadow and break join()
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            try:
+                os.utime(self.path)
+            except OSError:
+                return  # lease reaped or completed — nothing left to warm
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+def worker_main(
+    source: FabricSource,
+    root,
+    worker_id: str,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    backoff: float = 0.5,
+    poll: float = 0.05,
+) -> int:
+    """One worker process: claim → heartbeat → execute → complete, until
+    the queue is drained.  Returns the number of units completed.
+
+    Module-level (not a closure) so ``multiprocessing`` can spawn it on
+    any start method.
+    """
+    queue = WorkQueue(root)
+    queue.ensure_dirs()
+    store = source.store(root)
+    completed = 0
+    while True:
+        lease = queue.claim(worker_id)
+        if lease is None:
+            if queue.drained():
+                return completed
+            time.sleep(poll)  # backoff windows or other workers' leases
+            continue
+        beat = _HeartbeatThread(lease.path, interval=max(lease_ttl / 4, 0.02))
+        beat.start()
+        try:
+            result = source.execute(lease.unit, store, worker_id)
+        except Exception as exc:  # noqa: BLE001 — any unit error is retryable
+            beat.stop()
+            queue.fail_lease(lease, f"{type(exc).__name__}: {exc}",
+                             max_retries=max_retries, backoff=backoff)
+            continue
+        beat.stop()
+        queue.complete(lease, result)
+        completed += 1
+
+
+# ---------------------------------------------------------------------------
+# coordinator
+
+
+@dataclass
+class DrainReport:
+    """Outcome of one :meth:`Coordinator.drain`."""
+
+    rounds: int
+    units_done: int
+    units_failed: int
+    reassigned: int
+    respawned: int
+    workers: int
+    complete: bool
+    failed: List[dict] = field(default_factory=list)
+    result: Optional[object] = None
+
+
+class Coordinator:
+    """Plans units, runs the worker fleet, reaps leases, respawns dead
+    workers, and aggregates when the source reports the problem done.
+
+    ``self.procs`` (worker slot -> live ``Process``) is deliberately
+    inspectable: the kill-safety tests reach in and ``SIGKILL`` a
+    worker mid-lease to prove recovery.
+    """
+
+    def __init__(
+        self,
+        source: FabricSource,
+        root,
+        workers: int = 2,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff: float = 0.5,
+        poll: float = 0.05,
+        max_rounds: int = 1000,
+        max_respawns: int = 50,
+    ) -> None:
+        self.source = source
+        self.root = Path(root)
+        self.workers = max(1, int(workers))
+        self.lease_ttl = float(lease_ttl)
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.poll = float(poll)
+        self.max_rounds = int(max_rounds)
+        self.max_respawns = int(max_respawns)
+        self.queue = WorkQueue(root)
+        self.procs: Dict[int, multiprocessing.Process] = {}
+        self.reassigned = 0
+        self.respawned = 0
+
+    def _spawn(self, slot: int) -> None:
+        proc = multiprocessing.Process(
+            target=worker_main,
+            args=(self.source, self.root, f"w{slot}"),
+            kwargs={
+                "lease_ttl": self.lease_ttl,
+                "max_retries": self.max_retries,
+                "backoff": self.backoff,
+                "poll": self.poll,
+            },
+            daemon=True,
+        )
+        proc.start()
+        self.procs[slot] = proc
+
+    def _run_round(self) -> None:
+        """Run the fleet until the queue drains, reaping and respawning."""
+        for slot in range(self.workers):
+            self._spawn(slot)
+        try:
+            while not self.queue.drained():
+                requeued, _ = self.queue.reap_expired(
+                    self.lease_ttl, self.max_retries, self.backoff
+                )
+                self.reassigned += requeued
+                for slot, proc in list(self.procs.items()):
+                    if proc.exitcode is None or proc.exitcode == 0:
+                        continue
+                    # a worker died (crash or kill) with work outstanding
+                    if self.respawned >= self.max_respawns:
+                        raise FabricError(
+                            f"worker fleet died {self.respawned} times; "
+                            "giving up (inspect fabric/failed/ and records)"
+                        )
+                    self.respawned += 1
+                    self._spawn(slot)
+                time.sleep(self.poll)
+        finally:
+            deadline = time.time() + max(self.lease_ttl, 5.0)
+            for proc in self.procs.values():
+                proc.join(timeout=max(deadline - time.time(), 0.1))
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            self.procs.clear()
+
+    def drain(self) -> DrainReport:
+        """Drive the source to completion (or to stuck-with-failures).
+
+        Each round: plan units, enqueue the new ones, run the fleet
+        until the queue drains.  Single-round sources finish in one
+        pass; the exploration source keeps planning as the frontier
+        grows.  Raises :class:`FabricError` only on fleet collapse —
+        units that exhausted retries are *reported*, not raised, so a
+        partial drain still returns its progress.
+        """
+        store = self.source.store(self.root)
+        rounds = 0
+        for round_index in range(self.max_rounds):
+            units = self.source.plan(store, round_index)
+            self.queue.initialize(units)
+            if self.queue.drained():
+                if not units:
+                    break
+                continue  # everything offered was already done
+            rounds += 1
+            self._run_round()
+            if self.queue.failed_units():
+                break
+            if not self.source.multi_round:
+                break
+        else:
+            raise FabricError(
+                f"drain did not converge within {self.max_rounds} rounds"
+            )
+
+        failed = self.queue.failed_units()
+        complete = not failed and self.source.finished(store)
+        return DrainReport(
+            rounds=rounds,
+            units_done=len(self.queue.done_units()),
+            units_failed=len(failed),
+            reassigned=self.reassigned,
+            respawned=self.respawned,
+            workers=self.workers,
+            complete=complete,
+            failed=failed,
+            result=self.source.result(store) if complete else None,
+        )
+
+
+def drain_campaign(
+    spec: FigureSpec,
+    root,
+    *,
+    seed: int = 0,
+    trials: Optional[int] = None,
+    n_values: Optional[Sequence[int]] = None,
+    max_steps_factor: int = 50,
+    workers: int = 2,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    unit_trials: int = DEFAULT_UNIT_TRIALS,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    **coordinator_kwargs,
+) -> DrainReport:
+    """Drain ``spec``'s campaign at ``root`` with a worker fleet.
+
+    Convenience wrapper: builds the :class:`CampaignSource` and
+    :class:`Coordinator` with matching knobs and runs one drain.
+    """
+    source = CampaignSource(
+        spec,
+        seed=seed,
+        trials=trials,
+        n_values=n_values,
+        max_steps_factor=max_steps_factor,
+        unit_trials=unit_trials,
+    )
+    return Coordinator(
+        source,
+        root,
+        workers=workers,
+        lease_ttl=lease_ttl,
+        max_retries=max_retries,
+        **coordinator_kwargs,
+    ).drain()

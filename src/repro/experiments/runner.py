@@ -66,11 +66,25 @@ def resolve_n_jobs(n_jobs: Optional[int], trials: int) -> int:
     ``None`` resolves to ``os.cpu_count()`` (capped at ``trials``) for
     cells big enough to amortise pool startup, and to 1 for small ones.
     An explicit integer — including 1 — is always honoured, so serial
-    runs remain one flag away.  The ``REPRO_N_JOBS`` environment
-    variable overrides the default for whole pipelines.
+    runs remain one flag away.
+
+    The ``REPRO_N_JOBS`` environment variable overrides the default for
+    whole pipelines.  It must hold an integer; anything else raises a
+    ``ValueError`` naming the variable (never a bare ``int()``
+    traceback).  An empty (or whitespace-only) value is deliberately
+    ignored — ``REPRO_N_JOBS=""`` behaves exactly like unset — and
+    ``REPRO_N_JOBS=0`` (or any value below 1) clamps to 1, mirroring
+    how an explicit ``n_jobs=0`` is treated.
     """
-    if n_jobs is None and os.environ.get("REPRO_N_JOBS"):
-        n_jobs = int(os.environ["REPRO_N_JOBS"])
+    if n_jobs is None:
+        raw = os.environ.get("REPRO_N_JOBS", "")
+        if raw.strip():
+            try:
+                n_jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_N_JOBS must be an integer, got {raw!r}"
+                ) from None
     if n_jobs is not None:
         return max(1, int(n_jobs))
     if trials < POOL_MIN_TRIALS:

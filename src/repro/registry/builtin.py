@@ -544,6 +544,64 @@ def _explore_workload(moves: str, agent_filter: str, max_states: int) -> Explore
     return ExploreWorkload(moves, agent_filter, max_states)
 
 
+@dataclass(frozen=True)
+class DrainWorkload:
+    """Configured campaign-fabric drain (see
+    :mod:`repro.experiments.fabric`).
+
+    The workload binds the coordinator knobs — fleet size, lease TTL,
+    work-unit granularity, retry budget; the call supplies the work
+    source (built via :meth:`campaign_source` or any
+    :class:`~repro.experiments.fabric.FabricSource`) and the store
+    root.  None of the knobs change the drained result: aggregates are
+    byte-identical however the units were scheduled.
+    """
+
+    workers: int
+    lease_ttl: float
+    unit_trials: int
+    max_retries: int
+
+    def campaign_source(self, spec, **kwargs):
+        """A :class:`CampaignSource` for ``spec`` with this workload's
+        unit granularity (kwargs: seed, trials, n_values, ...)."""
+        from ..experiments.fabric import CampaignSource  # deferred: fabric imports experiments
+
+        kwargs.setdefault("unit_trials", self.unit_trials)
+        return CampaignSource(spec, **kwargs)
+
+    def __call__(self, source, root, **kwargs):
+        from ..experiments.fabric import Coordinator
+
+        return Coordinator(
+            source, root, workers=self.workers, lease_ttl=self.lease_ttl,
+            max_retries=self.max_retries, **kwargs,
+        ).drain()
+
+
+@REGISTRY.register(
+    "workload", "drain",
+    params=(
+        Param("workers", "int", default=2,
+              doc="worker processes draining the queue"),
+        Param("lease_ttl", "float", default=30.0,
+              doc="seconds without a heartbeat before a lease is reaped "
+                  "and its unit reassigned"),
+        Param("unit_trials", "int", default=8,
+              doc="trial indices per campaign work unit"),
+        Param("max_retries", "int", default=3,
+              doc="re-assignments a unit survives before it is parked "
+                  "as failed"),
+    ),
+    doc="lease-based work-queue coordinator: drains a campaign or "
+        "exploration with a crash-tolerant worker fleet",
+)
+def _drain_workload(
+    workers: int, lease_ttl: float, unit_trials: int, max_retries: int
+) -> DrainWorkload:
+    return DrainWorkload(workers, lease_ttl, unit_trials, max_retries)
+
+
 @_metric("cost_ratio",
          "final social cost / the star's social cost (the paper's PoA proxy)")
 def _m_cost_ratio(ctx: TrialContext) -> Optional[float]:

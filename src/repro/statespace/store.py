@@ -44,10 +44,11 @@ class ExplorationStore(CampaignStore):
         Duplicate keys (two shards racing on the same state, or a resume
         overlapping a half-written layer) keep the first occurrence —
         expansions are deterministic, so duplicates are identical
-        anyway.
+        anyway.  Reads through :meth:`iter_all_records`, so a compacted
+        (even pruned) store replays without touching JSONL.
         """
         out: Dict[str, dict] = {}
-        for rec in self.load_records():
+        for rec in self.iter_all_records():
             out.setdefault(rec["key"], rec)
         return out
 
@@ -65,7 +66,7 @@ class ExplorationStore(CampaignStore):
         """
         expanded = set()
         discovered = set()
-        for rec in self.load_records():
+        for rec in self.iter_all_records():
             expanded.add(rec["key"])
             for _, _, succ_hex in rec["succ"]:
                 discovered.add(succ_hex)

@@ -11,10 +11,43 @@ from repro.experiments.runner import (
     build_game,
     build_initial,
     build_policy,
+    resolve_n_jobs,
     run_cell,
     run_figure,
 )
 from repro.experiments.topology import figure12_spec, figure14_spec
+
+
+class TestResolveNJobs:
+    def test_invalid_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "lots")
+        with pytest.raises(ValueError, match="REPRO_N_JOBS must be an integer"):
+            resolve_n_jobs(None, 100)
+
+    def test_empty_env_behaves_like_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_N_JOBS", raising=False)
+        baseline = resolve_n_jobs(None, 100)
+        monkeypatch.setenv("REPRO_N_JOBS", "")
+        assert resolve_n_jobs(None, 100) == baseline
+        monkeypatch.setenv("REPRO_N_JOBS", "   ")
+        assert resolve_n_jobs(None, 100) == baseline
+
+    def test_zero_and_negative_clamp_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "0")
+        assert resolve_n_jobs(None, 100) == 1
+        monkeypatch.setenv("REPRO_N_JOBS", "-3")
+        assert resolve_n_jobs(None, 100) == 1
+        assert resolve_n_jobs(0, 100) == 1  # explicit zero matches the env
+
+    def test_valid_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "3")
+        assert resolve_n_jobs(None, 100) == 3
+        # small cells too — the env var wins over the pool heuristic
+        assert resolve_n_jobs(None, 2) == 3
+
+    def test_explicit_n_jobs_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "7")
+        assert resolve_n_jobs(2, 100) == 2
 
 
 class TestConfig:

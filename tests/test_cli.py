@@ -126,6 +126,87 @@ class TestCampaign:
                      "--results-dir", str(tmp_path)]) == 1
         assert "no campaign under" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("bad", ["1of4", "3", "a/b", "1/2/3", ""])
+    def test_campaign_malformed_shard_fails_friendly(self, capsys, tmp_path, bad):
+        rc = main(["campaign", "fig7", "--trials", "1", "--n", "8",
+                   "--shard", bad, "--results-dir", str(tmp_path)])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "--shard expects i/k" in out and "not enough values" not in out
+
+    def test_campaign_out_of_range_shard_fails_friendly(self, capsys, tmp_path):
+        rc = main(["campaign", "fig7", "--trials", "1", "--n", "8",
+                   "--shard", "4/4", "--results-dir", str(tmp_path)])
+        assert rc == 2
+        assert "0 <= i < k" in capsys.readouterr().out
+
+
+class TestDrainCompact:
+    def test_drain_compact_status_roundtrip(self, capsys, tmp_path):
+        rc = main(["drain", "fig7", "--trials", "2", "--n", "10",
+                   "--workers", "2", "--lease-ttl", "10",
+                   "--results-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "units done" in out and "k=1, max cost" in out  # tables printed
+
+        root = str(tmp_path / "fig7-seed0")
+        assert main(["compact", root, "--prune"]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 12 records" in out and "pruned" in out
+
+        assert main(["compact", root, "--status"]) == 0
+        assert "fresh" in capsys.readouterr().out
+
+        # status answers off the columnar layout — the JSONL is gone
+        assert not list((tmp_path / "fig7-seed0").glob("trials-*.jsonl"))
+        assert main(["campaign", "fig7", "--status",
+                     "--results-dir", str(tmp_path)]) == 0
+        assert "12/12 trials done" in capsys.readouterr().out
+
+    def test_drain_resumes_sharded_leftovers(self, capsys, tmp_path):
+        base = ["campaign", "fig7", "--trials", "2", "--n", "10",
+                "--jobs", "1", "--results-dir", str(tmp_path)]
+        assert main(base + ["--shard", "0/2"]) == 0
+        capsys.readouterr()
+        rc = main(["drain", "fig7", "--trials", "2", "--n", "10",
+                   "--workers", "2", "--results-dir", str(tmp_path),
+                   "--compact", "--prune"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "units done" in out
+        # --compact folded and pruned the store in the same invocation
+        assert "compacted 12 records" in out and "pruned" in out
+        assert not list((tmp_path / "fig7-seed0").glob("trials-*.jsonl"))
+
+    def test_compact_exploration_store(self, capsys, tmp_path):
+        assert main(["explore", "--game", "sg", "--n", "3",
+                     "--results-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        root = str(tmp_path / "explore-sg-sum-n3")
+        assert main(["compact", root, "--prune"]) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert main(["compact", root, "--status"]) == 0
+        assert "fresh" in capsys.readouterr().out
+        # the pruned statespace store still answers --status off columnar
+        assert main(["explore", "--game", "sg", "--n", "3", "--status",
+                     "--results-dir", str(tmp_path)]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_drain_unknown_figure(self, capsys, tmp_path):
+        assert main(["drain", "fig99", "--results-dir", str(tmp_path)]) == 2
+
+    def test_compact_without_store(self, capsys, tmp_path):
+        assert main(["compact", str(tmp_path)]) == 1
+        assert "no store manifest" in capsys.readouterr().out
+
+    def test_compact_status_before_compaction(self, capsys, tmp_path):
+        main(["campaign", "fig7", "--trials", "1", "--n", "10", "--jobs", "1",
+              "--results-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["compact", str(tmp_path / "fig7-seed0"), "--status"]) == 1
+        assert "not compacted" in capsys.readouterr().out
+
 
 class TestScenarios:
     def test_scenarios_lists_every_category(self, capsys):
@@ -311,3 +392,17 @@ class TestExplore:
         assert main(["explore", "--game", "sg",
                      "--results-dir", str(tmp_path)]) == 2
         assert "pass --n" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("bad", ["1of4", "3", "a/b"])
+    def test_malformed_shard_fails_friendly(self, capsys, tmp_path, bad):
+        rc = main(["explore", "--game", "asg", "--n", "3",
+                   "--shard", bad, "--results-dir", str(tmp_path)])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "--shard expects i/k" in out and "not enough values" not in out
+
+    def test_out_of_range_shard_fails_friendly(self, capsys, tmp_path):
+        rc = main(["explore", "--game", "asg", "--n", "3",
+                   "--shard", "2/2", "--results-dir", str(tmp_path)])
+        assert rc == 2
+        assert "0 <= i < k" in capsys.readouterr().out
