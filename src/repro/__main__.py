@@ -27,6 +27,10 @@ Commands
     Fold a store's JSONL records into the columnar analytics layout
     (parquet when pyarrow is available, a pure-python column-chunk
     format otherwise) so status and aggregation stop re-parsing JSONL.
+``fsck RESULTS_DIR [--repair]``
+    Verify the per-record checksums of a store's JSONL files and report
+    exactly the damaged lines; ``--repair`` quarantines them under
+    ``<root>/corrupt/`` and rewrites the record files clean.
 ``classify [figures...]``
     Exhaustive reachable-dynamics classification of instance states.
 ``explore --game sg --n 4 [--moves best] [--policy all] [--shard i/k]``
@@ -385,7 +389,8 @@ def cmd_drain(args) -> int:
         workload = REGISTRY.build(
             "workload", "drain",
             {"workers": args.workers, "lease_ttl": args.lease_ttl,
-             "unit_trials": args.unit_trials, "max_retries": args.max_retries},
+             "unit_trials": args.unit_trials, "max_retries": args.max_retries,
+             "unit_timeout": args.unit_timeout},
         )
     except ValueError as exc:
         print(f"error: {exc}")
@@ -419,10 +424,19 @@ def cmd_drain(args) -> int:
         print()
         print(format_figure(report.result, "max"))
         return 0
-    failed = ", ".join(u["id"] for u in report.failed) or "none"
-    print(f"(incomplete: {report.units_failed} units exhausted retries — "
-          f"failed units: {failed}; inspect {os.path.join(root, 'fabric', 'failed')} "
-          "and rerun to retry the rest)")
+    if report.failed:
+        print(f"(incomplete: {report.units_failed} units parked in "
+              f"{os.path.join(root, 'fabric', 'failed')})")
+        for unit in report.failed:
+            marker = " [poison]" if unit.get("diagnosis") == "poison" else ""
+            error = unit.get("error") or "no error recorded"
+            print(f"  failed {unit['id']}{marker}: {error}")
+        print("(fix the cause, move the units back to fabric/pending/, "
+              "and rerun to retry)")
+    if report.interrupted:
+        print("(drain interrupted — rerun to resume from where it stopped)")
+    elif not report.failed:
+        print("(incomplete — rerun to drain the remaining units)")
     return 1
 
 
@@ -462,6 +476,39 @@ def cmd_compact(args) -> int:
         print(f"pruned {len(summary['pruned'])} JSONL files: "
               f"{json.dumps(summary['pruned'])}")
     return 0
+
+
+def cmd_fsck(args) -> int:
+    """``repro fsck``: verify per-record checksums in a store's JSONL files."""
+    from .experiments.campaign import CampaignStore
+    from .statespace.store import ExplorationStore
+
+    store = CampaignStore(args.root)
+    manifest = store.load_manifest()
+    if manifest is None:
+        print(f"no store manifest under {args.root}")
+        return 1
+    if manifest.get("kind") == "statespace":
+        store = ExplorationStore(args.root)
+
+    report = store.fsck(repair=args.repair)
+    print(f"{args.root}: scanned {len(report['files'])} record files — "
+          f"{report['records_ok']} records ok"
+          + (f", {report['foreign']} foreign rows tolerated"
+             if report["foreign"] else ""))
+    if not report["damaged"]:
+        print("no damage found")
+        return 0
+    print(f"{len(report['damaged'])} damaged lines:")
+    for item in report["damaged"]:
+        print(f"  {item['file']}:{item['line']}: {item['reason']}")
+    if args.repair:
+        print(f"quarantined {report['repaired']} lines under "
+              f"{store.corrupt_dir()} and rewrote the files clean")
+        return 0
+    print("(rerun with --repair to quarantine the damaged lines under "
+          f"{store.corrupt_dir()})")
+    return 1
 
 
 def cmd_classify(args) -> int:
@@ -711,6 +758,10 @@ def main(argv=None) -> int:
     p.add_argument("--max-retries", type=int, default=3,
                    help="reassignments a unit survives before it is parked "
                         "as failed")
+    p.add_argument("--unit-timeout", type=float, default=0.0,
+                   help="wall-clock watchdog: reclaim a unit whose worker "
+                        "reports more than this many seconds of runtime, even "
+                        "while it still heartbeats (0 = off)")
     p.add_argument("--compact", action="store_true",
                    help="fold the JSONL records into the columnar layout "
                         "after draining")
@@ -728,6 +779,15 @@ def main(argv=None) -> int:
     p.add_argument("--status", action="store_true",
                    help="report compaction freshness and exit (writes nothing)")
     p.set_defaults(func=cmd_compact)
+
+    p = sub.add_parser(
+        "fsck",
+        help="verify per-record checksums; --repair quarantines damage")
+    p.add_argument("root", help="store directory (e.g. results/fig7-seed0)")
+    p.add_argument("--repair", action="store_true",
+                   help="move damaged lines to <root>/corrupt/ and rewrite "
+                        "the record files clean")
+    p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser("classify", help="reachable-dynamics classification")
     p.add_argument("figures", nargs="*")

@@ -35,12 +35,14 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.stats import ConvergenceStats
+from ..testing.faults import resolve_fs
 from .config import CellConfig, ExperimentConfig, FigureSpec
 from .runner import (
     FigureResult,
@@ -61,9 +63,60 @@ __all__ = [
     "aggregate_records",
     "aggregate_payload",
     "metric_payloads",
+    "encode_record_line",
+    "decode_record_line",
+    "CRC_KEY",
 ]
 
 STORE_VERSION = 1
+
+#: JSON key carrying the per-line CRC32 checksum (sorts before every
+#: record key, so checksummed lines visibly lead with their check).
+CRC_KEY = "_crc"
+
+#: quarantine directory name for damaged lines (see :meth:`CampaignStore.fsck`).
+CORRUPT_DIRNAME = "corrupt"
+
+
+def _record_crc(record: dict) -> str:
+    """CRC32 (hex) of the record's canonical JSON body, ``_crc`` excluded."""
+    body = json.dumps(record, sort_keys=True)
+    return f"{zlib.crc32(body.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def encode_record_line(record: dict) -> str:
+    """One store line: the record plus its CRC32, canonical JSON, no newline.
+
+    The checksum covers the canonical (sorted-keys) serialization of
+    the record *without* the ``_crc`` key, so any reader can strip the
+    key, re-serialize, and verify.
+    """
+    return json.dumps({CRC_KEY: _record_crc(record), **record}, sort_keys=True)
+
+
+def decode_record_line(line: str):
+    """``(record, reason)`` for one raw store line.
+
+    ``record`` is the parsed dict with ``_crc`` stripped, or ``None``
+    when the line is damaged; ``reason`` is ``None`` for good lines,
+    else ``"unparsable"`` (torn/garbage JSON) or ``"checksum"`` (parses
+    but the stored CRC disagrees with the body — single-bit rot, a
+    spliced line, or a hand-edit).  Lines written before the checksum
+    era carry no ``_crc`` and are accepted as-is: the format is
+    backward compatible, and ``repro fsck`` reports only provable
+    damage.
+    """
+    try:
+        rec = json.loads(line)
+    except json.JSONDecodeError:
+        return None, "unparsable"
+    if not isinstance(rec, dict):
+        return None, "unparsable"
+    if CRC_KEY in rec:
+        stored = rec.pop(CRC_KEY)
+        if stored != _record_crc(rec):
+            return None, "checksum"
+    return rec, None
 
 
 class CampaignMismatch(RuntimeError):
@@ -151,8 +204,11 @@ class CampaignStore:
     #: human name used in mismatch errors.
     KIND = "campaign"
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, fs=None) -> None:
         self.root = Path(root)
+        #: filesystem seam — production passes nothing and gets the real
+        #: one; the chaos suite injects a :class:`~repro.testing.faults.FaultyFS`.
+        self.fs = resolve_fs(fs)
 
     # -- manifest ----------------------------------------------------------
     def manifest_path(self) -> Path:
@@ -198,8 +254,8 @@ class CampaignStore:
         # os.replace() the other's file away mid-write.  Each writes an
         # identical manifest, so whichever replace lands last wins.
         tmp = self.manifest_path().with_name(f".manifest-{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
-        os.replace(tmp, self.manifest_path())
+        self.fs.write_text(tmp, json.dumps(manifest, indent=2, sort_keys=True))
+        self.fs.replace(tmp, self.manifest_path())
 
     # -- trial records -----------------------------------------------------
     def record_files(self) -> List[Path]:
@@ -212,18 +268,20 @@ class CampaignStore:
         can tell (with one ``stat`` per file, no line parsing) whether
         the compacted layout still reflects the JSONL contents.
         """
-        return {p.name: p.stat().st_size for p in self.record_files()}
+        return {p.name: self.fs.stat(p).st_size for p in self.record_files()}
 
     def iter_records(self, files: Optional[Sequence[Path]] = None) -> Iterable[dict]:
         """Stream all well-formed records across every shard file.
 
         Torn or garbage lines (a kill mid-append, disk-full partial
-        writes) are skipped — append-only JSONL means everything before
-        them is still valid.  One record is held in memory at a time,
-        so million-row stores stream through aggregation and compaction
-        without materializing.  ``files`` restricts the scan to a
-        subset of record files (the columnar merge path reads only the
-        files its compaction does not cover).
+        writes) and lines whose embedded CRC32 disagrees with their
+        body are skipped — append-only JSONL means everything before
+        them is still valid, and ``repro fsck`` exists to *report* the
+        damage this read path tolerates.  One record is held in memory
+        at a time, so million-row stores stream through aggregation
+        and compaction without materializing.  ``files`` restricts the
+        scan to a subset of record files (the columnar merge path
+        reads only the files its compaction does not cover).
         """
         for path in self.record_files() if files is None else files:
             with open(path, "r") as fh:
@@ -231,11 +289,10 @@ class CampaignStore:
                     line = line.strip()
                     if not line:
                         continue
-                    try:
-                        rec = json.loads(line)
-                    except json.JSONDecodeError:
+                    rec, damage = decode_record_line(line)
+                    if damage is not None:
                         continue
-                    if isinstance(rec, dict) and self.REQUIRED_KEYS <= rec.keys():
+                    if self.REQUIRED_KEYS <= rec.keys():
                         yield rec
 
     def load_records(self) -> List[dict]:
@@ -299,11 +356,74 @@ class CampaignStore:
         fh.close()
         return open(path, "a")
 
-    @staticmethod
-    def append(fh, record: dict) -> None:
-        """Write one record as a single flushed JSON line."""
-        fh.write(json.dumps(record, sort_keys=True) + "\n")
-        fh.flush()
+    def append(self, fh, record: dict) -> None:
+        """Write one record as a single flushed, checksummed JSON line."""
+        self.fs.append_text(fh, encode_record_line(record) + "\n")
+
+    # -- integrity ---------------------------------------------------------
+    def corrupt_dir(self) -> Path:
+        """Quarantine directory for damaged lines (``<root>/corrupt/``)."""
+        return self.root / CORRUPT_DIRNAME
+
+    def fsck(self, repair: bool = False) -> dict:
+        """Verify every record line; optionally quarantine the damage.
+
+        Scans all record files and classifies each line: good (CRC
+        verifies, or a pre-checksum legacy line), ``unparsable`` (torn
+        or garbage JSON — a kill mid-append), or ``checksum`` (parses
+        but the embedded CRC32 disagrees with the body — bit rot or a
+        hand-edit).  Parseable lines missing :attr:`REQUIRED_KEYS` are
+        *foreign*, not damaged — they are counted but never flagged,
+        matching what :meth:`iter_records` tolerates.
+
+        With ``repair=True`` each damaged raw line is appended to
+        ``corrupt/<filename>.bad`` and the record file is rewritten
+        without it (atomically, via tmp + replace through the fs seam),
+        so subsequent reads and compactions see a provably clean store.
+        Returns ``{"files", "records_ok", "foreign", "damaged":
+        [{"file", "line", "reason"}], "repaired"}``.
+        """
+        damaged: List[dict] = []
+        records_ok = 0
+        foreign = 0
+        files = self.record_files()
+        for path in files:
+            keep: List[str] = []
+            bad: List[str] = []
+            with open(path, "r") as fh:
+                for line_no, raw in enumerate(fh, start=1):
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    rec, damage = decode_record_line(line)
+                    if damage is not None:
+                        damaged.append(
+                            {"file": path.name, "line": line_no, "reason": damage}
+                        )
+                        bad.append(line)
+                        continue
+                    if self.REQUIRED_KEYS <= rec.keys():
+                        records_ok += 1
+                    else:
+                        foreign += 1
+                    keep.append(line)
+            if repair and bad:
+                self.corrupt_dir().mkdir(parents=True, exist_ok=True)
+                with open(self.corrupt_dir() / f"{path.name}.bad", "a") as qh:
+                    for line in bad:
+                        self.fs.append_text(qh, line + "\n")
+                tmp = path.with_name(f".{path.name}.fsck-{os.getpid()}.tmp")
+                self.fs.write_text(
+                    tmp, "".join(line + "\n" for line in keep)
+                )
+                self.fs.replace(tmp, path)
+        return {
+            "files": [p.name for p in files],
+            "records_ok": records_ok,
+            "foreign": foreign,
+            "damaged": damaged,
+            "repaired": len(damaged) if repair else 0,
+        }
 
 
 def aggregate_records(

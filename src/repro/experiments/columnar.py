@@ -50,11 +50,13 @@ reserved to mean "key absent in this row" and dropped on read.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-import shutil
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..testing.faults import resolve_fs
 
 __all__ = [
     "COLUMNAR_VERSION",
@@ -237,6 +239,66 @@ class ColumnarStore:
                 }
 
 
+def _recover_interrupted_swap(root: Path, fs) -> None:
+    """Finish a compaction swap a dead process left half-done.
+
+    ``compact_store`` swaps the new layout in with two renames (current
+    dir → ``.columnar-old-<pid>``, tmp → current).  A death between
+    them leaves the only readable compaction under the ``old`` name —
+    and on a pruned store that is the only copy of the pruned rows, so
+    this must be repaired before any read.  Recovery is the obvious
+    rename back; it runs at every compaction entry and lazily at the
+    top of :func:`iter_store_records`, and is a no-op whenever a
+    readable compaction is in place.
+    """
+    coldir = root / DIRNAME
+    if (coldir / "manifest.json").exists():
+        return
+    candidates = sorted(
+        p for p in root.glob(f".{DIRNAME}-old-*")
+        if (p / "manifest.json").exists()
+    )
+    if not candidates:
+        return
+    if coldir.exists():
+        # manifest-less husk (a death mid-teardown) — clear it so the
+        # preserved compaction can take its place
+        fs.rmtree(coldir)
+    fs.rename(candidates[-1], coldir)
+    for stray in candidates[:-1]:
+        fs.rmtree(stray)
+
+
+def _compaction_rows(store) -> Iterator[dict]:
+    """The row stream a (re)compaction folds: every record, each once.
+
+    Fresh stores stream straight off the JSONL.  When a compaction
+    already exists the stream is :func:`iter_store_records` — compacted
+    rows plus uncovered files — with *exact* duplicates suppressed: a
+    file that grew since the last compaction contributes its
+    pre-compaction rows from both sides, and without suppression every
+    recompaction of a still-growing store would bake another copy in.
+    Suppression is by 128-bit digest of the canonical row JSON, so only
+    byte-identical rows collapse; rows that merely share a natural key
+    are preserved for the consumers that dedupe by first-wins.
+    """
+    if not ColumnarStore(store.root).exists():
+        yield from store.iter_records()
+        return
+    seen = set()
+    for rec in iter_store_records(store):
+        digest = int.from_bytes(
+            hashlib.blake2b(
+                json.dumps(rec, sort_keys=True).encode("utf-8"), digest_size=16
+            ).digest(),
+            "big",
+        )
+        if digest in seen:
+            continue
+        seen.add(digest)
+        yield rec
+
+
 def _campaign_summary(store, rows_seen: Dict[str, set]) -> dict:
     """The pre-computed per-cell completion counts (campaign stores).
 
@@ -261,34 +323,41 @@ def _campaign_summary(store, rows_seen: Dict[str, set]) -> dict:
     }
 
 
-def _write_chunk(directory: Path, k: int, rows: List[dict]) -> dict:
+def _write_chunk(directory: Path, k: int, rows: List[dict], fs) -> dict:
     """Write one chunk (one file per column) and return its metadata."""
     columns = sorted({key for row in rows for key in row})
     for j, name in enumerate(columns):
         payload = _encode_column([row.get(name) for row in rows])
-        (directory / f"chunk{k}-col{j}.json").write_text(
-            json.dumps(payload, separators=(",", ":"))
+        fs.write_text(
+            directory / f"chunk{k}-col{j}.json",
+            json.dumps(payload, separators=(",", ":")),
         )
     return {"rows": len(rows), "columns": columns}
 
 
-def _compact_chunks(store, directory: Path, chunk_rows: int) -> dict:
-    """Stream the store into the pure-python chunk layout."""
+def _compact_chunks(store, directory: Path, chunk_rows: int, fs) -> dict:
+    """Stream the store into the pure-python chunk layout.
+
+    Rows come from :func:`_compaction_rows` — the existing compaction
+    plus uncovered JSONL — not the raw record files alone: on a pruned
+    store the compaction *is* the only copy of the pruned rows, and a
+    recompaction that read only JSONL would silently drop them all.
+    """
     chunks: List[dict] = []
     buffer: List[dict] = []
     rows = 0
     cells: Dict[str, set] = {}
     campaign_shaped = {"cell", "trial"} <= set(store.REQUIRED_KEYS)
-    for rec in store.iter_records():
+    for rec in _compaction_rows(store):
         buffer.append(rec)
         rows += 1
         if campaign_shaped:
             cells.setdefault(rec["cell"], set()).add(int(rec["trial"]))
         if len(buffer) >= chunk_rows:
-            chunks.append(_write_chunk(directory, len(chunks), buffer))
+            chunks.append(_write_chunk(directory, len(chunks), buffer, fs))
             buffer = []
     if buffer:
-        chunks.append(_write_chunk(directory, len(chunks), buffer))
+        chunks.append(_write_chunk(directory, len(chunks), buffer, fs))
     return {
         "format": "chunks",
         "rows": rows,
@@ -299,7 +368,12 @@ def _compact_chunks(store, directory: Path, chunk_rows: int) -> dict:
 
 
 def _compact_parquet(store, directory: Path, chunk_rows: int) -> dict:
-    """Stream the store into a parquet file (pyarrow available)."""
+    """Stream the store into a parquet file (pyarrow available).
+
+    Reads :func:`_compaction_rows` for the same reason as
+    :func:`_compact_chunks`: a pruned store's rows live only in the
+    prior compaction.
+    """
     import pyarrow as pa
     import pyarrow.parquet as pq
 
@@ -311,7 +385,7 @@ def _compact_parquet(store, directory: Path, chunk_rows: int) -> dict:
     # parquet wants a stable schema across batches, and record files may
     # introduce keys (e.g. "metrics") partway through
     names = set()
-    for rec in store.iter_records():
+    for rec in _compaction_rows(store):
         names.update(rec)
     columns = sorted(names)
     schema = pa.schema([(name, pa.string()) for name in columns])
@@ -333,7 +407,7 @@ def _compact_parquet(store, directory: Path, chunk_rows: int) -> dict:
             ]
             writer.write_table(pa.Table.from_arrays(arrays, schema=schema))
 
-        for rec in store.iter_records():
+        for rec in _compaction_rows(store):
             buffer.append(rec)
             rows += 1
             if campaign_shaped:
@@ -375,14 +449,25 @@ def compact_store(
     forces the format; default is parquet when pyarrow imports, the
     pure-python chunk layout otherwise.
 
+    All mutations route through the store's filesystem seam
+    (``store.fs``), so the chaos suite can kill a compaction at any
+    rename/write boundary; entry first repairs any half-done swap a
+    previous death left behind (see :func:`_recover_interrupted_swap`).
+
     Returns a summary dict: ``{"format", "rows", "chunks", "columns",
     "source", "pruned"}``.
     """
+    fs = resolve_fs(getattr(store, "fs", None))
     columnar = ColumnarStore(store.root)
+    _recover_interrupted_swap(columnar.root, fs)
+    # a completed swap that died before its teardown leaves a stale
+    # old-dir husk; we are the compactor, so clear any of them now
+    for stale in columnar.root.glob(f".{DIRNAME}-old-*"):
+        fs.rmtree(stale)
     snapshot = store.record_file_sizes()
     tmp = columnar.root / f".{DIRNAME}-{os.getpid()}.tmp"
     if tmp.exists():
-        shutil.rmtree(tmp)
+        fs.rmtree(tmp)
     tmp.mkdir(parents=True)
     try:
         pa = _pyarrow() if use_parquet in (None, True) else None
@@ -397,9 +482,9 @@ def compact_store(
                 # fall back to the dependency-free layout
                 for stale in tmp.iterdir():
                     stale.unlink()
-                result = _compact_chunks(store, tmp, chunk_rows)
+                result = _compact_chunks(store, tmp, chunk_rows, fs)
         else:
-            result = _compact_chunks(store, tmp, chunk_rows)
+            result = _compact_chunks(store, tmp, chunk_rows, fs)
 
         manifest = {
             "version": COLUMNAR_VERSION,
@@ -408,21 +493,23 @@ def compact_store(
             **result,
         }
         # manifest last: its presence is what makes the layout readable
-        (tmp / "manifest.json").write_text(
-            json.dumps(manifest, indent=2, sort_keys=True)
+        fs.write_text(
+            tmp / "manifest.json", json.dumps(manifest, indent=2, sort_keys=True)
         )
 
         old = columnar.root / f".{DIRNAME}-old-{os.getpid()}"
         if old.exists():
-            shutil.rmtree(old)
+            fs.rmtree(old)
         if columnar.dir.exists():
-            os.rename(columnar.dir, old)
-        os.rename(tmp, columnar.dir)
+            fs.rename(columnar.dir, old)
+        fs.rename(tmp, columnar.dir)
         if old.exists():
-            shutil.rmtree(old)
+            fs.rmtree(old)
     finally:
+        # routed through the seam on purpose: a *dead* fs must not tidy
+        # up — a real killed process leaves its tmp debris behind
         if tmp.exists():
-            shutil.rmtree(tmp)
+            fs.rmtree(tmp)
 
     pruned = []
     if prune:
@@ -432,8 +519,8 @@ def compact_store(
                 # only files still exactly as compacted — a file that
                 # grew since the snapshot holds rows the compaction
                 # does not, and must survive
-                if path.stat().st_size == size:
-                    path.unlink()
+                if fs.stat(path).st_size == size:
+                    fs.unlink(path)
                     pruned.append(name)
             except OSError:
                 continue
@@ -456,6 +543,9 @@ def iter_store_records(store) -> Iterator[dict]:
     ``aggregate_records``, ``expanded_rows``) already dedupes, so a
     duplicate is always harmless while a missing record never is.
     """
+    _recover_interrupted_swap(
+        Path(store.root), resolve_fs(getattr(store, "fs", None))
+    )
     columnar = ColumnarStore(store.root)
     if not columnar.exists():
         yield from store.iter_records()

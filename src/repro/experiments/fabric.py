@@ -10,26 +10,42 @@ renames so it needs no server, no locks, and no dependencies::
 
     <root>/fabric/
       pending/<unit id>.json   # unclaimed work units
-      leased/<unit id>.json    # claimed; file mtime is the heartbeat
+      leased/<unit id>.json    # claimed; content carries the heartbeat
       done/<unit id>.json      # completed (result payload inside)
-      failed/<unit id>.json    # exceeded max_retries; drain() reports
+      failed/<unit id>.json    # exhausted retries or diagnosed poison;
+                               # <unit id>.diagnosis rides alongside
 
 Lifecycle of a unit (the coordinator's state machine)::
 
     pending --claim (os.rename)--> leased --complete--> done
        ^                             |
-       |        lease expired        |--worker error / heartbeat
-       +--- (retries <= max) --------+   stopped > ttl ago
-                                     |
-                                     +--(retries > max)--> failed
+       |   lease expired / stuck /   |--worker error / heartbeat
+       +--- released (retries <=     |   frozen for > ttl
+       |         max) ---------------+
+       |                             +--(retries > max)--> failed
+       +-- worker crashed (<= max crashes) --+
+                                     +--(poison: crashes > max)--> failed
 
-*Claiming* is ``os.rename(pending/u, leased/u)`` — atomic on POSIX, so
-exactly one worker wins a unit no matter how many race.  *Heartbeats*
-are ``os.utime`` on the leased file from a daemon thread in the
-worker; the coordinator reaps any lease whose mtime is older than the
-TTL and moves it back to pending (with bounded retries and a
-``not_before`` backoff stamp) — crash recovery and straggler
-re-assignment are the same code path.
+*Claiming* is a rename of ``pending/u`` to ``leased/u`` — atomic on
+POSIX, so exactly one worker wins a unit no matter how many race.
+*Heartbeats* are content, not mtime: a daemon thread in the worker
+rewrites the lease file with a monotonically increasing beat counter,
+the owner's identity, and the unit's elapsed runtime (measured on the
+worker's own monotonic clock).  The coordinator's reaper remembers
+each lease's ``(owner, beat)`` fingerprint against *its own*
+``time.monotonic()`` and requeues a lease whose fingerprint has not
+changed for a full TTL (with bounded retries and a ``not_before``
+backoff stamp) — crash recovery and straggler re-assignment are the
+same code path, and because no wall-clock timestamp is ever compared
+across machines, arbitrary clock skew between workers and coordinator
+cannot expire a healthy lease.  A ``unit_timeout`` watchdog reuses the
+worker-reported elapsed time to reclaim units that are *stuck* while
+their worker beats on happily.
+
+All filesystem mutations route through a seam
+(:mod:`repro.testing.faults`) so the chaos suite can kill any worker
+or the coordinator at every rename/write boundary and replay the
+failure from a seed.
 
 The fabric deliberately provides **at-least-once** execution, not
 exactly-once: a reaped worker that was merely slow may finish its unit
@@ -56,12 +72,15 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import signal
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..testing.faults import resolve_fs
 from .campaign import (
     CampaignStore,
     _plan_cells,
@@ -87,6 +106,10 @@ __all__ = [
 DEFAULT_LEASE_TTL = 30.0
 DEFAULT_UNIT_TRIALS = 8
 DEFAULT_MAX_RETRIES = 3
+#: times a unit may crash its worker before it is parked as poison.
+DEFAULT_MAX_UNIT_CRASHES = 2
+#: seconds the coordinator gives a signalled fleet to finish or release.
+DEFAULT_DRAIN_GRACE = 10.0
 
 #: subdirectory of the store root holding the queue.
 QUEUE_DIRNAME = "fabric"
@@ -119,12 +142,19 @@ class WorkQueue:
     the unit first, and the loser simply moves on.
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, fs=None) -> None:
         self.root = Path(root) / QUEUE_DIRNAME
         self.pending = self.root / "pending"
         self.leased = self.root / "leased"
         self.done = self.root / "done"
         self.failed = self.root / "failed"
+        #: filesystem seam (see :mod:`repro.testing.faults`).
+        self.fs = resolve_fs(fs)
+        #: reaper state: unit id -> ((owner, beat) fingerprint, the
+        #: local-monotonic instant it was first observed).  Content
+        #: fingerprints observed against the *reaper's* clock are what
+        #: make lease expiry immune to worker clock skew.
+        self._observed: Dict[str, Tuple[tuple, float]] = {}
 
     def ensure_dirs(self) -> None:
         for d in (self.pending, self.leased, self.done, self.failed):
@@ -132,8 +162,8 @@ class WorkQueue:
 
     def _write(self, path: Path, unit: dict) -> None:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(unit, sort_keys=True))
-        os.replace(tmp, path)
+        self.fs.write_text(tmp, json.dumps(unit, sort_keys=True))
+        self.fs.replace(tmp, path)
 
     @staticmethod
     def _read(path: Path) -> Optional[dict]:
@@ -172,10 +202,16 @@ class WorkQueue:
         """Atomically claim one eligible pending unit, or ``None``.
 
         Units still inside their retry backoff window (``not_before``
-        in the future) are passed over.  The heartbeat clock starts
-        immediately: the rename leaves the file with its old mtime,
-        which may already be near the TTL, so ``utime`` runs before
-        the lease is handed out.
+        in the future) are passed over.  The claim stamps the lease
+        content with the owner's identity and beat ``0`` — the reaper
+        starts its TTL clock the first time it *sees* that fingerprint,
+        so a freshly claimed unit always gets a full TTL regardless of
+        any clock disagreement.
+
+        The rename also repairs a rare ghost: a heartbeat racing a
+        reap can rewrite a lease file just after the reaper requeued
+        the unit, and the next claim's rename simply clobbers the
+        ghost with the real lease.
         """
         now = time.time()
         for path in sorted(self.pending.glob("*.json")):
@@ -184,23 +220,56 @@ class WorkQueue:
                 continue
             target = self.leased / path.name
             try:
-                os.rename(path, target)
+                self.fs.rename(path, target)
             except OSError:
                 continue  # lost the race for this unit — try the next
             unit["owner"] = worker
+            unit["beat"] = 0
+            unit["elapsed"] = 0.0
             try:
                 self._write(target, unit)
-                os.utime(target)
             except OSError:
                 pass  # reaped at the instant of claim; treat as claimed anyway
             return Lease(unit, target)
         return None
 
-    def heartbeat(self, lease: Lease) -> None:
-        """Refresh the lease (mtime := now).  A vanished file means the
-        coordinator reaped us; the eventual complete() sorts it out."""
+    def heartbeat(self, lease: Lease, elapsed: Optional[float] = None) -> bool:
+        """Refresh the lease by *content*: bump the beat counter and
+        record the unit's elapsed runtime (worker-monotonic seconds).
+
+        Returns ``False`` when the lease file is gone — the coordinator
+        reaped or timed out this unit and the worker is executing on
+        borrowed time (its eventual completion still lands, as a
+        harmless duplicate).  Callers should stop beating on ``False``
+        so a requeued unit's fresh lease is not fought over.
+        """
+        if not lease.path.exists():
+            return False
+        lease.unit["beat"] = int(lease.unit.get("beat", 0)) + 1
+        if elapsed is not None:
+            lease.unit["elapsed"] = round(float(elapsed), 3)
         try:
-            os.utime(lease.path)
+            self._write(lease.path, lease.unit)
+        except OSError:
+            return False
+        return True
+
+    def release(self, lease: Lease, note: str = "released") -> None:
+        """Voluntarily hand a claimed unit back (graceful drain).
+
+        Unlike :meth:`fail_lease` this burns no retry: the worker did
+        nothing wrong, it was asked to stop.  The unit returns to
+        pending immediately (no backoff window).
+        """
+        unit = dict(lease.unit)
+        for transient in ("owner", "beat", "elapsed"):
+            unit.pop(transient, None)
+        unit["not_before"] = 0.0
+        unit["error"] = note
+        self._observed.pop(lease.id, None)
+        self._write(self.pending / lease.path.name, unit)
+        try:
+            self.fs.unlink(lease.path)
         except OSError:
             pass
 
@@ -213,7 +282,7 @@ class WorkQueue:
         target = self.done / lease.path.name
         if target.exists():
             try:
-                lease.path.unlink()
+                self.fs.unlink(lease.path)
             except OSError:
                 pass
             return False
@@ -224,7 +293,7 @@ class WorkQueue:
         # leaves both files, and the reaper treats done as authoritative
         self._write(target, unit)
         try:
-            lease.path.unlink()
+            self.fs.unlink(lease.path)
         except OSError:
             pass
         return True
@@ -241,14 +310,16 @@ class WorkQueue:
         unit = dict(lease.unit)
         unit["retries"] = int(unit.get("retries", 0)) + 1
         unit["error"] = error
-        unit.pop("owner", None)
+        for transient in ("owner", "beat", "elapsed"):
+            unit.pop(transient, None)
+        self._observed.pop(lease.id, None)
         if unit["retries"] > max_retries:
             self._write(self.failed / lease.path.name, unit)
         else:
             unit["not_before"] = time.time() + backoff * unit["retries"]
             self._write(self.pending / lease.path.name, unit)
         try:
-            lease.path.unlink()
+            self.fs.unlink(lease.path)
         except OSError:
             pass
 
@@ -257,44 +328,153 @@ class WorkQueue:
         ttl: float,
         max_retries: int = DEFAULT_MAX_RETRIES,
         backoff: float = 0.5,
+        now: Optional[float] = None,
+        unit_timeout: Optional[float] = None,
     ) -> Tuple[int, int]:
-        """Requeue every lease whose heartbeat is older than ``ttl``.
+        """Requeue every lease whose heartbeat fingerprint froze for
+        ``ttl``, plus (with ``unit_timeout``) every unit whose own
+        elapsed runtime exceeds the timeout.
+
+        Expiry never reads a timestamp off the lease file.  The reaper
+        remembers the ``(owner, beat)`` content fingerprint of each
+        lease together with the local ``time.monotonic()`` instant it
+        first saw that fingerprint; a lease is stale only when its
+        fingerprint has not changed for a full TTL *of the reaper's own
+        clock* — so a worker whose wall clock is wrong by hours still
+        holds its lease, and a dead worker loses it after exactly one
+        TTL of silence.  ``now`` overrides the reaper clock (tests).
+
+        The watchdog path is skew-free for the same reason: ``elapsed``
+        is a duration the worker measured on *its* monotonic clock, so
+        comparing it against ``unit_timeout`` involves no cross-machine
+        timestamps.  A stuck unit is reclaimed even while its worker
+        heartbeats happily; the requeue burns a retry, so a unit that
+        is stuck everywhere eventually parks in ``failed/`` instead of
+        cycling forever.
 
         The owner may be dead (crash, ``kill -9``) or merely stalled —
         the fabric cannot tell and does not need to: if the old owner
         later finishes, its completion lands as a harmless duplicate.
         Returns ``(requeued, failed)`` counts.
         """
-        now = time.time()
+        if now is None:
+            now = time.monotonic()
         requeued = failed = 0
+        seen = set()
         for path in sorted(self.leased.glob("*.json")):
             if (self.done / path.name).exists():
                 # completed during a previous reap race — just clean up
                 try:
-                    path.unlink()
+                    self.fs.unlink(path)
                 except OSError:
                     pass
                 continue
-            try:
-                age = now - path.stat().st_mtime
-            except OSError:
-                continue  # completed/failed between glob and stat
-            if age <= ttl:
-                continue
             unit = self._read(path)
             if unit is None:
+                continue  # completed/failed between glob and read
+            unit_id = path.stem
+            seen.add(unit_id)
+            fingerprint = (unit.get("owner"), unit.get("beat"))
+            known = self._observed.get(unit_id)
+            if known is None or known[0] != fingerprint:
+                self._observed[unit_id] = (fingerprint, now)
+                known = self._observed[unit_id]
+            owner = unit.get("owner", "unknown")
+            elapsed = float(unit.get("elapsed", 0.0) or 0.0)
+            if unit_timeout is not None and elapsed > unit_timeout:
+                error = (f"unit exceeded unit_timeout={unit_timeout:g}s "
+                         f"(elapsed {elapsed:g}s on worker {owner})")
+            elif now - known[1] > ttl:
+                error = (f"lease expired (no heartbeat from worker {owner} "
+                         f"for {ttl:g}s)")
+            else:
                 continue
             lease = Lease(unit, path)
             retries = int(unit.get("retries", 0)) + 1
             if retries > max_retries:
-                self.fail_lease(lease, f"lease expired (attempt {retries})",
+                self.fail_lease(lease, f"{error} (attempt {retries})",
                                 max_retries=0)
                 failed += 1
             else:
-                self.fail_lease(lease, f"lease expired (attempt {retries})",
+                self.fail_lease(lease, f"{error} (attempt {retries})",
                                 max_retries=max_retries, backoff=backoff)
                 requeued += 1
+        # forget leases that left the leased state some other way
+        for unit_id in list(self._observed):
+            if unit_id not in seen:
+                del self._observed[unit_id]
         return requeued, failed
+
+    def fail_dead_owner(
+        self,
+        worker: str,
+        max_crashes: int = DEFAULT_MAX_UNIT_CRASHES,
+        exitcode: Optional[int] = None,
+    ) -> Tuple[int, int]:
+        """A worker process died; deal with the lease it was holding.
+
+        Called by the coordinator the moment it observes a nonzero
+        worker exit, so the unit does not wait out a whole TTL of
+        silence.  Crashes are tracked separately from retries: a unit
+        that keeps *crashing* its workers (rather than raising) is a
+        poison pill, and after ``max_crashes`` it is parked in
+        ``failed/`` with a ``<unit id>.diagnosis`` sidecar naming every
+        worker it took down — instead of respawn-looping the fleet
+        until ``max_respawns`` kills the whole drain.
+
+        Returns ``(requeued, parked)`` counts.
+        """
+        requeued = parked = 0
+        for path in sorted(self.leased.glob("*.json")):
+            unit = self._read(path)
+            if unit is None or unit.get("owner") != worker:
+                continue
+            if (self.done / path.name).exists():
+                try:
+                    self.fs.unlink(path)
+                except OSError:
+                    pass
+                continue
+            unit = dict(unit)
+            crashes = int(unit.get("crashes", 0)) + 1
+            unit["crashes"] = crashes
+            history = list(unit.get("crashed_workers", []))
+            history.append({"worker": worker, "exitcode": exitcode})
+            unit["crashed_workers"] = history
+            for transient in ("owner", "beat", "elapsed"):
+                unit.pop(transient, None)
+            self._observed.pop(path.stem, None)
+            unit["error"] = (f"worker {worker} died (exit {exitcode}) "
+                             f"while running this unit (crash {crashes})")
+            if crashes > max_crashes:
+                unit["diagnosis"] = "poison"
+                self._write(self.failed / path.name, unit)
+                self.fs.write_text(
+                    self.failed / f"{path.stem}.diagnosis",
+                    json.dumps({
+                        "unit": path.stem,
+                        "diagnosis": "poison",
+                        "crashes": crashes,
+                        "crashed_workers": history,
+                        "detail": (
+                            "this unit killed every worker that executed "
+                            "it; it is parked so the fleet stops dying. "
+                            "Inspect the unit payload, fix the cause, then "
+                            "move the unit file back to fabric/pending/ to "
+                            "retry."
+                        ),
+                    }, indent=2, sort_keys=True),
+                )
+                parked += 1
+            else:
+                unit["not_before"] = 0.0  # crash recovery skips backoff
+                self._write(self.pending / path.name, unit)
+                requeued += 1
+            try:
+                self.fs.unlink(path)
+            except OSError:
+                pass
+        return requeued, parked
 
     # -- introspection -----------------------------------------------------
     def counts(self) -> Dict[str, int]:
@@ -376,6 +556,8 @@ class CampaignSource(FabricSource):
     n_values: Optional[Sequence[int]] = None
     max_steps_factor: int = 50
     unit_trials: int = DEFAULT_UNIT_TRIALS
+    #: filesystem seam handed to the store (chaos tests only).
+    fs: Optional[object] = None
 
     def _grid(self):
         use_trials = self.trials if self.trials is not None else self.spec.trials
@@ -387,7 +569,7 @@ class CampaignSource(FabricSource):
         return eff_spec, use_trials, use_ns, _plan_cells(eff_spec, use_ns)
 
     def store(self, root) -> CampaignStore:
-        return CampaignStore(root)
+        return CampaignStore(root, fs=self.fs)
 
     def plan(self, store: CampaignStore, round_index: int) -> List[dict]:
         if round_index > 0:
@@ -464,13 +646,15 @@ class ExplorationSource(FabricSource):
     shards: int = 2
     unit_budget: int = 200
     game_name: Optional[str] = None
+    #: filesystem seam handed to the store (chaos tests only).
+    fs: Optional[object] = None
 
     multi_round = True
 
     def store(self, root):
         from ..statespace.store import ExplorationStore
 
-        return ExplorationStore(root)
+        return ExplorationStore(root, fs=self.fs)
 
     def plan(self, store, round_index: int) -> List[dict]:
         if round_index > 0 and self.finished(store):
@@ -537,29 +721,71 @@ class ExplorationSource(FabricSource):
 # workers
 
 
+class _DrainNow(BaseException):
+    """Second SIGTERM/SIGINT: release the current lease and exit.
+
+    A ``BaseException`` so a source's own ``except Exception`` cannot
+    swallow the operator's insistence.
+    """
+
+
 class _HeartbeatThread(threading.Thread):
-    """Daemon thread refreshing one lease's mtime every ``interval``.
+    """Daemon thread re-stamping one lease's beat counter every
+    ``interval``.
 
     A daemon thread (not a per-trial callback) keeps sources heartbeat-
     agnostic: ``execute`` can be one opaque long call and the lease
     still stays warm.  ``kill -9`` takes the thread down with the
-    worker — exactly the signal the reaper keys on.
+    worker — the frozen beat counter is exactly the signal the reaper
+    keys on.
+
+    Heartbeat failures are *surfaced*, not swallowed: a vanished lease
+    file means the coordinator already reaped this unit, and persistent
+    write errors mean the same thing in practice — either way the
+    worker is executing on borrowed time, so the thread emits a
+    one-shot :class:`RuntimeWarning` naming the unit, sets
+    :attr:`warned`, and stops beating (re-stamping a reaped lease
+    would only fight the unit's next owner over the file).
     """
 
-    def __init__(self, path: Path, interval: float) -> None:
+    #: consecutive failures before the thread gives up and warns.
+    MAX_FAILURES = 3
+
+    def __init__(self, queue: WorkQueue, lease: Lease, interval: float) -> None:
         super().__init__(daemon=True)
-        self.path = path
+        self.queue = queue
+        self.lease = lease
         self.interval = interval
+        self.warned = False
         # NB: not "_stop" — threading.Thread defines a private _stop()
         # method that an Event attribute would shadow and break join()
         self._halt = threading.Event()
+        self._started_at = time.monotonic()
 
     def run(self) -> None:
+        failures = 0
         while not self._halt.wait(self.interval):
             try:
-                os.utime(self.path)
-            except OSError:
-                return  # lease reaped or completed — nothing left to warm
+                ok = self.queue.heartbeat(
+                    self.lease, elapsed=time.monotonic() - self._started_at
+                )
+            except Exception:  # noqa: BLE001 — a beat must never kill the worker
+                ok = False
+            if ok:
+                failures = 0
+                continue
+            failures += 1
+            if not self.lease.path.exists() or failures >= self.MAX_FAILURES:
+                self.warned = True
+                warnings.warn(
+                    f"heartbeat lost for unit {self.lease.id}: the lease "
+                    "was reaped or cannot be refreshed; this worker keeps "
+                    "executing but the unit may be reassigned (its "
+                    "duplicate completion is harmless)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return
 
     def stop(self) -> None:
         self._halt.set()
@@ -574,36 +800,76 @@ def worker_main(
     max_retries: int = DEFAULT_MAX_RETRIES,
     backoff: float = 0.5,
     poll: float = 0.05,
+    fs=None,
+    install_signals: bool = True,
 ) -> int:
     """One worker process: claim → heartbeat → execute → complete, until
     the queue is drained.  Returns the number of units completed.
 
+    Graceful drain: the first ``SIGTERM``/``SIGINT`` asks the worker to
+    finish its current unit and exit (no new claims); a second one
+    interrupts the unit and cleanly *releases* the lease — back to
+    pending, no retry burned — before exiting.  A third signal is never
+    needed: the coordinator escalates to ``SIGKILL``, which the reaper
+    already recovers from.  ``install_signals=False`` (or running on a
+    non-main thread, where handlers cannot be installed) skips the
+    handlers.
+
     Module-level (not a closure) so ``multiprocessing`` can spawn it on
     any start method.
     """
-    queue = WorkQueue(root)
+    queue = WorkQueue(root, fs=fs)
     queue.ensure_dirs()
     store = source.store(root)
     completed = 0
-    while True:
-        lease = queue.claim(worker_id)
-        if lease is None:
-            if queue.drained():
-                return completed
-            time.sleep(poll)  # backoff windows or other workers' leases
-            continue
-        beat = _HeartbeatThread(lease.path, interval=max(lease_ttl / 4, 0.02))
-        beat.start()
+    draining = {"asked": False}
+
+    def _on_signal(signum, frame):
+        if draining["asked"]:
+            raise _DrainNow()
+        draining["asked"] = True
+
+    previous = {}
+    if install_signals:
         try:
-            result = source.execute(lease.unit, store, worker_id)
-        except Exception as exc:  # noqa: BLE001 — any unit error is retryable
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                previous[sig] = signal.signal(sig, _on_signal)
+        except ValueError:
+            previous = {}  # not the main thread — run signal-less
+    try:
+        while True:
+            if draining["asked"]:
+                return completed
+            lease = queue.claim(worker_id)
+            if lease is None:
+                if queue.drained():
+                    return completed
+                time.sleep(poll)  # backoff windows or other workers' leases
+                continue
+            beat = _HeartbeatThread(
+                queue, lease, interval=max(lease_ttl / 4, 0.02)
+            )
+            beat.start()
+            try:
+                result = source.execute(lease.unit, store, worker_id)
+            except _DrainNow:
+                beat.stop()
+                queue.release(lease, note=f"released by {worker_id} on drain")
+                return completed
+            except Exception as exc:  # noqa: BLE001 — unit errors are retryable
+                beat.stop()
+                queue.fail_lease(lease, f"{type(exc).__name__}: {exc}",
+                                 max_retries=max_retries, backoff=backoff)
+                continue
             beat.stop()
-            queue.fail_lease(lease, f"{type(exc).__name__}: {exc}",
-                             max_retries=max_retries, backoff=backoff)
-            continue
-        beat.stop()
-        queue.complete(lease, result)
-        completed += 1
+            queue.complete(lease, result)
+            completed += 1
+    finally:
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
 
 
 # ---------------------------------------------------------------------------
@@ -623,6 +889,8 @@ class DrainReport:
     complete: bool
     failed: List[dict] = field(default_factory=list)
     result: Optional[object] = None
+    #: a SIGTERM/SIGINT cut the drain short (partial progress returned).
+    interrupted: bool = False
 
 
 class Coordinator:
@@ -632,6 +900,14 @@ class Coordinator:
     ``self.procs`` (worker slot -> live ``Process``) is deliberately
     inspectable: the kill-safety tests reach in and ``SIGKILL`` a
     worker mid-lease to prove recovery.
+
+    Graceful drain: ``SIGTERM``/``SIGINT`` during :meth:`drain` stops
+    planning, forwards the signal to the fleet (finish your unit), and
+    after ``drain_grace`` seconds escalates — a second SIGTERM makes
+    stragglers release their lease cleanly, a final SIGKILL is the
+    backstop the reaper already recovers from.  The partial
+    :class:`DrainReport` comes back with ``interrupted=True`` and the
+    next drain resumes exactly where this one stopped.
     """
 
     def __init__(
@@ -645,6 +921,10 @@ class Coordinator:
         poll: float = 0.05,
         max_rounds: int = 1000,
         max_respawns: int = 50,
+        unit_timeout: Optional[float] = None,
+        max_unit_crashes: int = DEFAULT_MAX_UNIT_CRASHES,
+        drain_grace: float = DEFAULT_DRAIN_GRACE,
+        fs=None,
     ) -> None:
         self.source = source
         self.root = Path(root)
@@ -655,40 +935,67 @@ class Coordinator:
         self.poll = float(poll)
         self.max_rounds = int(max_rounds)
         self.max_respawns = int(max_respawns)
-        self.queue = WorkQueue(root)
+        self.unit_timeout = (
+            float(unit_timeout) if unit_timeout is not None else None
+        )
+        self.max_unit_crashes = int(max_unit_crashes)
+        self.drain_grace = float(drain_grace)
+        self.fs = fs
+        self.queue = WorkQueue(root, fs=fs)
         self.procs: Dict[int, multiprocessing.Process] = {}
+        #: worker slot -> identity of the process currently in it; ids
+        #: are unique per spawn (``w<slot>.<seq>``) so a respawned
+        #: slot's crash is never misattributed to its predecessor's unit
+        self.slot_owner: Dict[int, str] = {}
         self.reassigned = 0
         self.respawned = 0
+        self.parked = 0
+        self.interrupted = False
+        self._spawn_seq = 0
 
     def _spawn(self, slot: int) -> None:
+        worker_id = f"w{slot}.{self._spawn_seq}"
+        self._spawn_seq += 1
         proc = multiprocessing.Process(
             target=worker_main,
-            args=(self.source, self.root, f"w{slot}"),
+            args=(self.source, self.root, worker_id),
             kwargs={
                 "lease_ttl": self.lease_ttl,
                 "max_retries": self.max_retries,
                 "backoff": self.backoff,
                 "poll": self.poll,
+                "fs": self.fs,
             },
             daemon=True,
         )
         proc.start()
         self.procs[slot] = proc
+        self.slot_owner[slot] = worker_id
 
     def _run_round(self) -> None:
         """Run the fleet until the queue drains, reaping and respawning."""
-        for slot in range(self.workers):
-            self._spawn(slot)
         try:
+            for slot in range(self.workers):
+                self._spawn(slot)
             while not self.queue.drained():
                 requeued, _ = self.queue.reap_expired(
-                    self.lease_ttl, self.max_retries, self.backoff
+                    self.lease_ttl, self.max_retries, self.backoff,
+                    unit_timeout=self.unit_timeout,
                 )
                 self.reassigned += requeued
                 for slot, proc in list(self.procs.items()):
                     if proc.exitcode is None or proc.exitcode == 0:
                         continue
-                    # a worker died (crash or kill) with work outstanding
+                    # a worker died (crash or kill) with work outstanding:
+                    # recover its lease *now* (no TTL wait) and diagnose
+                    # poison units before burning another process on them
+                    rq, parked = self.queue.fail_dead_owner(
+                        self.slot_owner.get(slot, f"w{slot}"),
+                        max_crashes=self.max_unit_crashes,
+                        exitcode=proc.exitcode,
+                    )
+                    self.reassigned += rq
+                    self.parked += parked
                     if self.respawned >= self.max_respawns:
                         raise FabricError(
                             f"worker fleet died {self.respawned} times; "
@@ -697,14 +1004,39 @@ class Coordinator:
                     self.respawned += 1
                     self._spawn(slot)
                 time.sleep(self.poll)
+        except KeyboardInterrupt:
+            self.interrupted = True
         finally:
-            deadline = time.time() + max(self.lease_ttl, 5.0)
-            for proc in self.procs.values():
-                proc.join(timeout=max(deadline - time.time(), 0.1))
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=5.0)
+            if self.interrupted:
+                self._stop_fleet_graceful()
+            else:
+                deadline = time.time() + max(self.lease_ttl, 5.0)
+                for proc in self.procs.values():
+                    proc.join(timeout=max(deadline - time.time(), 0.1))
+                    if proc.is_alive():
+                        proc.terminate()
+                        proc.join(timeout=5.0)
+                    if proc.is_alive():
+                        proc.kill()
+                        proc.join(timeout=5.0)
             self.procs.clear()
+            self.slot_owner.clear()
+
+    def _stop_fleet_graceful(self) -> None:
+        """SIGTERM (finish unit) → SIGTERM (release lease) → SIGKILL."""
+        for escalation in range(2):
+            stragglers = [p for p in self.procs.values() if p.is_alive()]
+            if not stragglers:
+                return
+            for proc in stragglers:
+                proc.terminate()  # SIGTERM: the worker's drain handler
+            deadline = time.time() + self.drain_grace
+            for proc in stragglers:
+                proc.join(timeout=max(deadline - time.time(), 0.1))
+        for proc in self.procs.values():
+            if proc.is_alive():
+                proc.kill()  # backstop; the reaper recovers the lease
+                proc.join(timeout=5.0)
 
     def drain(self) -> DrainReport:
         """Drive the source to completion (or to stuck-with-failures).
@@ -714,30 +1046,53 @@ class Coordinator:
         pass; the exploration source keeps planning as the frontier
         grows.  Raises :class:`FabricError` only on fleet collapse —
         units that exhausted retries are *reported*, not raised, so a
-        partial drain still returns its progress.
+        partial drain still returns its progress; so does an
+        interrupted one (``interrupted=True``).
         """
-        store = self.source.store(self.root)
-        rounds = 0
-        for round_index in range(self.max_rounds):
-            units = self.source.plan(store, round_index)
-            self.queue.initialize(units)
-            if self.queue.drained():
-                if not units:
+        previous_term = None
+        if threading.current_thread() is threading.main_thread():
+            # SIGTERM behaves like SIGINT so one graceful-drain path
+            # (KeyboardInterrupt) covers both operator signals
+            def _term(signum, frame):
+                raise KeyboardInterrupt
+
+            try:
+                previous_term = signal.signal(signal.SIGTERM, _term)
+            except (ValueError, OSError):
+                previous_term = None
+        try:
+            store = self.source.store(self.root)
+            rounds = 0
+            for round_index in range(self.max_rounds):
+                units = self.source.plan(store, round_index)
+                self.queue.initialize(units)
+                if self.queue.drained():
+                    if not units:
+                        break
+                    continue  # everything offered was already done
+                rounds += 1
+                self._run_round()
+                if self.interrupted:
                     break
-                continue  # everything offered was already done
-            rounds += 1
-            self._run_round()
-            if self.queue.failed_units():
-                break
-            if not self.source.multi_round:
-                break
-        else:
-            raise FabricError(
-                f"drain did not converge within {self.max_rounds} rounds"
-            )
+                if self.queue.failed_units():
+                    break
+                if not self.source.multi_round:
+                    break
+            else:
+                raise FabricError(
+                    f"drain did not converge within {self.max_rounds} rounds"
+                )
+        finally:
+            if previous_term is not None:
+                try:
+                    signal.signal(signal.SIGTERM, previous_term)
+                except (ValueError, OSError):
+                    pass
 
         failed = self.queue.failed_units()
-        complete = not failed and self.source.finished(store)
+        complete = (
+            not failed and not self.interrupted and self.source.finished(store)
+        )
         return DrainReport(
             rounds=rounds,
             units_done=len(self.queue.done_units()),
@@ -748,6 +1103,7 @@ class Coordinator:
             complete=complete,
             failed=failed,
             result=self.source.result(store) if complete else None,
+            interrupted=self.interrupted,
         )
 
 

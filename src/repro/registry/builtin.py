@@ -561,6 +561,7 @@ class DrainWorkload:
     lease_ttl: float
     unit_trials: int
     max_retries: int
+    unit_timeout: Optional[float] = None
 
     def campaign_source(self, spec, **kwargs):
         """A :class:`CampaignSource` for ``spec`` with this workload's
@@ -575,7 +576,8 @@ class DrainWorkload:
 
         return Coordinator(
             source, root, workers=self.workers, lease_ttl=self.lease_ttl,
-            max_retries=self.max_retries, **kwargs,
+            max_retries=self.max_retries, unit_timeout=self.unit_timeout,
+            **kwargs,
         ).drain()
 
 
@@ -592,14 +594,20 @@ class DrainWorkload:
         Param("max_retries", "int", default=3,
               doc="re-assignments a unit survives before it is parked "
                   "as failed"),
+        Param("unit_timeout", "float", default=0.0,
+              doc="wall-clock watchdog: a unit whose self-reported "
+                  "runtime exceeds this many seconds is released and "
+                  "retried even while its worker heartbeats (0 = off)"),
     ),
     doc="lease-based work-queue coordinator: drains a campaign or "
         "exploration with a crash-tolerant worker fleet",
 )
 def _drain_workload(
-    workers: int, lease_ttl: float, unit_trials: int, max_retries: int
+    workers: int, lease_ttl: float, unit_trials: int, max_retries: int,
+    unit_timeout: float,
 ) -> DrainWorkload:
-    return DrainWorkload(workers, lease_ttl, unit_trials, max_retries)
+    return DrainWorkload(workers, lease_ttl, unit_trials, max_retries,
+                         unit_timeout if unit_timeout > 0 else None)
 
 
 @_metric("cost_ratio",

@@ -1,0 +1,19 @@
+"""Testing instruments that ship with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+(chaos) layer: the filesystem seam the campaign fabric and stores
+route their rename/write/stat calls through, and the seeded fault
+plans that turn one hand-picked ``kill -9`` proof into a family of
+machine-checked crash-consistency guarantees.
+"""
+
+from .faults import (  # noqa: F401
+    FS,
+    REAL_FS,
+    Fault,
+    FaultPlan,
+    FaultyFS,
+    InjectedCrash,
+)
+
+__all__ = ["FS", "REAL_FS", "Fault", "FaultPlan", "FaultyFS", "InjectedCrash"]

@@ -149,25 +149,26 @@ class TestWorkQueue:
         q = WorkQueue(tmp_path)
         q.initialize([{"id": "u0"}])
         lease = q.claim("w0")
-        # fresh lease survives the reaper
-        assert q.reap_expired(ttl=60.0) == (0, 0)
-        # age the heartbeat past the TTL (backdate mtime instead of
-        # sleeping through a real TTL)
-        stale = time.time() - 120.0
-        os.utime(lease.path, (stale, stale))
-        assert q.reap_expired(ttl=60.0, backoff=0.0) == (1, 0)
+        # first sight of the lease starts its TTL clock; it is fresh
+        t0 = time.monotonic()
+        assert q.reap_expired(ttl=60.0, now=t0) == (0, 0)
+        # the beat counter never moves, so one TTL later (of the
+        # *reaper's* clock — no sleeping, no mtime games) it expires
+        assert q.reap_expired(ttl=60.0, backoff=0.0, now=t0 + 61.0) == (1, 0)
         again = q.claim("w1")
         assert again is not None and again.id == "u0"
         assert again.unit["retries"] == 1
+        assert "w0" in again.unit["error"]  # expiry names the late owner
 
     def test_reap_expired_honors_retry_budget(self, tmp_path):
         q = WorkQueue(tmp_path)
         q.initialize([{"id": "u0"}])
+        now = time.monotonic()
         for _ in range(2):
-            lease = q.claim("w0")
-            stale = time.time() - 120.0
-            os.utime(lease.path, (stale, stale))
-            q.reap_expired(ttl=60.0, max_retries=1, backoff=0.0)
+            q.claim("w0")
+            q.reap_expired(ttl=60.0, max_retries=1, backoff=0.0, now=now)
+            now += 61.0
+            q.reap_expired(ttl=60.0, max_retries=1, backoff=0.0, now=now)
         assert q.counts()["failed"] == 1
         assert q.drained()
 
@@ -175,10 +176,92 @@ class TestWorkQueue:
         q = WorkQueue(tmp_path)
         q.initialize([{"id": "u0"}])
         lease = q.claim("w0")
-        stale = time.time() - 120.0
-        os.utime(lease.path, (stale, stale))
+        t0 = time.monotonic()
+        assert q.reap_expired(ttl=60.0, now=t0) == (0, 0)
+        # a beat changes the (owner, beat) fingerprint, restarting the
+        # TTL clock — the lease survives a reap a full TTL later
+        assert q.heartbeat(lease, elapsed=30.0) is True
+        assert q.reap_expired(ttl=60.0, now=t0 + 61.0) == (0, 0)
+        # ...but silence after that beat expires it one TTL further on
+        assert q.reap_expired(ttl=60.0, backoff=0.0,
+                              now=t0 + 122.0) == (1, 0)
+
+    def test_clock_skew_cannot_expire_a_healthy_lease(self, tmp_path):
+        """The lease file's wall-clock timestamps are irrelevant: only
+        content fingerprints against the reaper's monotonic clock
+        decide expiry, so hours of mtime skew change nothing."""
+        q = WorkQueue(tmp_path)
+        q.initialize([{"id": "u0"}])
+        lease = q.claim("w0")
+        skewed = time.time() - 7200.0  # mtime two hours in the past
+        os.utime(lease.path, (skewed, skewed))
+        t0 = time.monotonic()
+        assert q.reap_expired(ttl=1.0, now=t0) == (0, 0)
         q.heartbeat(lease)
-        assert q.reap_expired(ttl=60.0) == (0, 0)  # mtime refreshed
+        os.utime(lease.path, (skewed, skewed))  # re-skew after the beat
+        assert q.reap_expired(ttl=1.0, now=t0 + 0.5) == (0, 0)
+
+    def test_unit_timeout_watchdog_reclaims_stuck_unit(self, tmp_path):
+        """A unit whose worker heartbeats forever but never finishes is
+        reclaimed once its self-reported elapsed time passes the
+        watchdog bound — and parks as failed when it is stuck
+        everywhere."""
+        q = WorkQueue(tmp_path)
+        q.initialize([{"id": "u0"}])
+        lease = q.claim("w0")
+        t0 = time.monotonic()
+        q.heartbeat(lease, elapsed=5.0)
+        # beating and under the bound: safe
+        assert q.reap_expired(ttl=60.0, now=t0, unit_timeout=10.0) == (0, 0)
+        q.heartbeat(lease, elapsed=11.0)
+        # still beating, but over the bound: reclaimed despite beats
+        assert q.reap_expired(ttl=60.0, backoff=0.0, now=t0 + 0.1,
+                              unit_timeout=10.0, max_retries=1) == (1, 0)
+        again = q.claim("w1")
+        assert "unit_timeout" in again.unit["error"]
+        q.heartbeat(again, elapsed=12.0)
+        assert q.reap_expired(ttl=60.0, backoff=0.0, now=t0 + 0.2,
+                              unit_timeout=10.0, max_retries=1) == (0, 1)
+        [failed] = q.failed_units()
+        assert "unit_timeout" in failed["error"]
+
+    def test_release_requeues_without_burning_a_retry(self, tmp_path):
+        q = WorkQueue(tmp_path)
+        q.initialize([{"id": "u0"}])
+        lease = q.claim("w0")
+        q.release(lease, note="released by w0 on drain")
+        assert q.counts()["pending"] == 1 and q.counts()["leased"] == 0
+        again = q.claim("w1")  # immediately claimable: no backoff window
+        assert again is not None and again.unit.get("retries", 0) == 0
+        assert again.unit["owner"] == "w1"
+
+    def test_poison_unit_parks_with_diagnosis(self, tmp_path):
+        q = WorkQueue(tmp_path)
+        q.initialize([{"id": "u0"}])
+        q.claim("w0.0")
+        assert q.fail_dead_owner("w0.0", max_crashes=1,
+                                 exitcode=-9) == (1, 0)
+        lease = q.claim("w0.1")
+        assert lease.unit["crashes"] == 1
+        assert lease.unit.get("retries", 0) == 0  # crashes are not retries
+        assert q.fail_dead_owner("w0.1", max_crashes=1,
+                                 exitcode=-11) == (0, 1)
+        [failed] = q.failed_units()
+        assert failed["diagnosis"] == "poison" and failed["crashes"] == 2
+        diagnosis = json.loads((q.failed / "u0.diagnosis").read_text())
+        assert [c["worker"] for c in diagnosis["crashed_workers"]] == \
+            ["w0.0", "w0.1"]
+        assert diagnosis["crashed_workers"][1]["exitcode"] == -11
+        assert q.drained()  # the sidecar does not read as a queue unit
+
+    def test_fail_dead_owner_leaves_other_leases_alone(self, tmp_path):
+        q = WorkQueue(tmp_path)
+        q.initialize([{"id": "u0"}, {"id": "u1"}])
+        q.claim("w0")
+        q.claim("w1")
+        assert q.fail_dead_owner("w0", exitcode=-9) == (1, 0)
+        assert q.counts() == {"pending": 1, "leased": 1, "done": 0,
+                              "failed": 0}
 
 
 # ---------------------------------------------------------------------------
@@ -618,12 +701,85 @@ class TestWorkerMain:
         [failed] = queue.failed_units()
         assert "ValueError: synthetic unit failure" in failed["error"]
 
-    def test_heartbeat_thread_exits_when_lease_vanishes(self, tmp_path):
-        beat = _HeartbeatThread(tmp_path / "gone.json", interval=0.01)
-        beat.start()
-        beat.join(timeout=2.0)
-        assert not beat.is_alive()  # first utime failed -> thread returned
+    def test_heartbeat_thread_warns_once_when_lease_vanishes(self, tmp_path):
+        """The satellite fix: a reaped-but-running worker is *visible* —
+        the beat thread emits one RuntimeWarning and stops beating
+        instead of silently swallowing every failure."""
+        q = WorkQueue(tmp_path)
+        q.ensure_dirs()
+        ghost = Lease({"id": "gone", "retries": 0}, q.leased / "gone.json")
+        beat = _HeartbeatThread(q, ghost, interval=0.01)
+        with pytest.warns(RuntimeWarning, match="heartbeat lost for unit gone"):
+            beat.start()
+            beat.join(timeout=5.0)
+        assert not beat.is_alive() and beat.warned
         beat.stop()  # harmless on an already-finished thread
+
+    def test_heartbeat_thread_beats_and_stops_cleanly(self, tmp_path):
+        q = WorkQueue(tmp_path)
+        q.initialize([{"id": "u0"}])
+        lease = q.claim("w0")
+        beat = _HeartbeatThread(q, lease, interval=0.01)
+        beat.start()
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            unit = WorkQueue._read(lease.path)
+            if unit is not None and unit.get("beat", 0) >= 2:
+                break
+            time.sleep(0.01)
+        beat.stop()
+        assert not beat.is_alive() and not beat.warned
+        unit = WorkQueue._read(lease.path)
+        assert unit["beat"] >= 2 and unit["owner"] == "w0"
+        assert unit["elapsed"] >= 0.0
+
+    def test_worker_finishes_unit_on_first_sigterm(self, tmp_path):
+        """Graceful drain, stage one: SIGTERM mid-drain lets the worker
+        finish its current unit, then exit cleanly without claiming
+        more — nothing is left leased, nothing torn."""
+        import multiprocessing
+
+        source = _SlowCampaignSource(tiny_spec(), unit_trials=2, delay=0.15)
+        store = source.store(tmp_path)
+        units = source.plan(store, 0)
+        queue = WorkQueue(tmp_path)
+        queue.initialize(units)
+        proc = multiprocessing.Process(
+            target=worker_main, args=(source, tmp_path, "w0"),
+            kwargs={"lease_ttl": 5.0, "poll": 0.01},
+        )
+        proc.start()
+        deadline = time.time() + 30.0
+        while time.time() < deadline and not list(queue.leased.glob("*.json")):
+            time.sleep(0.005)
+        assert list(queue.leased.glob("*.json")), "worker claimed nothing"
+        os.kill(proc.pid, signal.SIGTERM)
+        proc.join(timeout=60.0)
+        assert proc.exitcode == 0  # graceful exit, not a crash
+        counts = queue.counts()
+        assert counts["leased"] == 0 and counts["failed"] == 0
+        assert counts["done"] >= 1  # the in-flight unit was finished
+        assert counts["done"] + counts["pending"] == len(units)
+
+    def test_worker_releases_lease_on_second_signal(self, tmp_path):
+        """Graceful drain, stage two: a second signal interrupts the
+        unit and cleanly releases the lease — requeued, no retry
+        burned, records torn mid-write are skipped on read."""
+        from repro.experiments.fabric import _DrainNow
+
+        class _BlockingSource(_ExplodingSource):
+            def execute(self, unit, store, worker):
+                raise _DrainNow()  # what the second SIGTERM raises
+
+        queue = WorkQueue(tmp_path)
+        queue.initialize([{"id": "u0"}])
+        done = worker_main(_BlockingSource(), tmp_path, "w0",
+                           lease_ttl=5.0, poll=0.01, install_signals=False)
+        assert done == 0
+        assert queue.counts() == {"pending": 1, "leased": 0, "done": 0,
+                                  "failed": 0}
+        unit = WorkQueue._read(queue.pending / "u0.json")
+        assert unit.get("retries", 0) == 0 and "released" in unit["error"]
 
 
 class TestCoordinatorEdges:
@@ -654,6 +810,37 @@ class TestCoordinatorEdges:
         report = Coordinator(_LazySource(), tmp_path, workers=1).drain()
         assert report.complete and report.rounds == 0
         assert report.result == "ok" and report.units_done == 1
+
+    def test_sigint_yields_partial_interrupted_report(self, tmp_path):
+        """Graceful coordinator drain: SIGINT mid-round stops planning,
+        drains the fleet cleanly (no leases left behind), and returns a
+        partial report; a fresh drain resumes to byte-identity."""
+        spec = tiny_spec()
+        serial = serial_payload(tmp_path / "serial", spec, seed=5)
+        source = _SlowCampaignSource(spec, seed=5, unit_trials=1, delay=0.4)
+        coord = Coordinator(source, tmp_path / "fab", workers=2,
+                            lease_ttl=10.0, poll=0.02, drain_grace=30.0)
+
+        def interrupt_once_leased():
+            queue = WorkQueue(tmp_path / "fab")
+            deadline = time.time() + 30.0
+            while time.time() < deadline:
+                if list(queue.leased.glob("*.json")):
+                    break
+                time.sleep(0.01)
+            os.kill(os.getpid(), signal.SIGINT)
+
+        threading.Thread(target=interrupt_once_leased).start()
+        report = coord.drain()
+        assert report.interrupted and not report.complete
+        assert report.result is None
+        assert coord.queue.counts()["leased"] == 0  # fleet exited cleanly
+        # resuming finishes the campaign with the serial bytes
+        fast = CampaignSource(spec, seed=5, unit_trials=1)
+        resumed = Coordinator(fast, tmp_path / "fab", workers=2,
+                              lease_ttl=10.0, poll=0.02).drain()
+        assert resumed.complete and not resumed.interrupted
+        assert result_payload(resumed.result) == serial
 
 
 # ---------------------------------------------------------------------------

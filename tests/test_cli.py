@@ -208,6 +208,104 @@ class TestDrainCompact:
         assert "not compacted" in capsys.readouterr().out
 
 
+class TestFsck:
+    def campaign_root(self, tmp_path) -> str:
+        main(["campaign", "fig7", "--trials", "1", "--n", "10", "--jobs", "1",
+              "--results-dir", str(tmp_path)])
+        return str(tmp_path / "fig7-seed0")
+
+    def test_fsck_clean_store(self, capsys, tmp_path):
+        root = self.campaign_root(tmp_path)
+        capsys.readouterr()
+        assert main(["fsck", root]) == 0
+        out = capsys.readouterr().out
+        assert "records ok" in out and "no damage found" in out
+
+    def test_fsck_reports_then_repairs_damage(self, capsys, tmp_path):
+        root = self.campaign_root(tmp_path)
+        from pathlib import Path
+
+        victim = sorted(Path(root).glob("trials-*.jsonl"))[0]
+        with open(victim, "a") as fh:
+            fh.write('{"torn half of a rec')
+        capsys.readouterr()
+
+        assert main(["fsck", root]) == 1
+        out = capsys.readouterr().out
+        assert "1 damaged lines" in out
+        assert f"{victim.name}:" in out and "unparsable" in out
+        assert "--repair" in out
+
+        assert main(["fsck", root, "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined 1 lines" in out
+        assert (Path(root) / "corrupt" / f"{victim.name}.bad").exists()
+
+        assert main(["fsck", root]) == 0
+        assert "no damage found" in capsys.readouterr().out
+
+    def test_fsck_exploration_store(self, capsys, tmp_path):
+        assert main(["explore", "--game", "sg", "--n", "3",
+                     "--results-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["fsck", str(tmp_path / "explore-sg-sum-n3")]) == 0
+        assert "no damage found" in capsys.readouterr().out
+
+    def test_fsck_without_store(self, capsys, tmp_path):
+        assert main(["fsck", str(tmp_path)]) == 1
+        assert "no store manifest" in capsys.readouterr().out
+
+
+class TestDrainFailureReport:
+    """The drain verb's parked-unit and interrupted reporting, driven by
+    canned :class:`DrainReport`\\ s so the failure paths are exact."""
+
+    def fake_drain(self, monkeypatch, report):
+        from repro.registry import REGISTRY
+
+        class FakeWorkload:
+            def campaign_source(self, spec, **kwargs):
+                return object()
+
+            def __call__(self, source, root):
+                return report
+
+        monkeypatch.setattr(REGISTRY, "build",
+                            lambda *a, **k: FakeWorkload())
+
+    def test_drain_reports_parked_units_with_errors(self, capsys, tmp_path,
+                                                    monkeypatch):
+        from repro.experiments.fabric import DrainReport
+
+        self.fake_drain(monkeypatch, DrainReport(
+            rounds=1, units_done=1, units_failed=2, reassigned=0,
+            respawned=0, workers=2, complete=False,
+            failed=[
+                {"id": "c-t0", "error": "ValueError: boom"},
+                {"id": "c-t2", "diagnosis": "poison",
+                 "error": "worker w0.1 died (exit -9) while running "
+                          "this unit (crash 3)"},
+            ],
+        ))
+        assert main(["drain", "fig7", "--results-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "2 units parked" in out
+        assert "failed c-t0: ValueError: boom" in out
+        assert "failed c-t2 [poison]: worker w0.1 died" in out
+        assert "rerun to retry" in out
+
+    def test_drain_reports_interruption(self, capsys, tmp_path, monkeypatch):
+        from repro.experiments.fabric import DrainReport
+
+        self.fake_drain(monkeypatch, DrainReport(
+            rounds=1, units_done=3, units_failed=0, reassigned=0,
+            respawned=0, workers=2, complete=False, interrupted=True,
+        ))
+        assert main(["drain", "fig7", "--results-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "drain interrupted" in out and "rerun to resume" in out
+
+
 class TestScenarios:
     def test_scenarios_lists_every_category(self, capsys):
         assert main(["scenarios"]) == 0

@@ -21,7 +21,11 @@ MODULES = [
     "repro.experiments",
     "repro.experiments.runner",
     "repro.experiments.campaign",
+    "repro.experiments.fabric",
+    "repro.experiments.columnar",
     "repro.graphs.generators",
+    "repro.testing",
+    "repro.testing.faults",
     "repro.statespace",
     "repro.statespace.encode",
     "repro.statespace.expand",
