@@ -22,7 +22,13 @@ from typing import Optional
 
 import pytest
 
-from repro.core.games import AsymmetricSwapGame, GreedyBuyGame, SwapGame
+from repro.core.games import (
+    AsymmetricSwapGame,
+    BuyGame,
+    CooperativeBuyGame,
+    GreedyBuyGame,
+    SwapGame,
+)
 from repro.instances.figures import fig3_sum_asg_cycle
 from repro.statespace import explore, verify_sinks
 
@@ -45,13 +51,24 @@ CELLS = {
     ),
     "gbg-sum-n4-a1": (lambda: explore(GreedyBuyGame("sum", alpha=1.0), n=4), 624, 528),
     "sg-sum-n5": (lambda: explore(SwapGame("sum"), n=5), 728, 368),
+    # greedy-equilibrium census: the BG's 104 GE strictly contain its 62
+    # NE at alpha=2, n=4 — the gap the greedy moveset exists to measure
+    "bg-sum-n4-a2-greedy": (
+        lambda: explore(BuyGame("sum", alpha=2.0), n=4, moves="greedy"),
+        624, 104,
+    ),
+    "coop-sum-n4-a2": (
+        lambda: explore(CooperativeBuyGame("sum", alpha=2.0), n=4),
+        624, 528,
+    ),
     "fig3-reachable": (
         lambda: explore(fig3_sum_asg_cycle().game, start=fig3_sum_asg_cycle().network),
         4, 0,
     ),
 }
 
-SMOKE_CELLS = ("sg-sum-n4", "asg-sum-n4", "fig3-reachable")
+SMOKE_CELLS = ("sg-sum-n4", "asg-sum-n4", "bg-sum-n4-a2-greedy",
+               "fig3-reachable")
 
 
 def run_cell(name: str, report=None) -> dict:
@@ -98,6 +115,8 @@ def test_census_cell(name):
             "asg-sum-n4-incremental": AsymmetricSwapGame("sum"),
             "gbg-sum-n4-a1": GreedyBuyGame("sum", alpha=1.0),
             "sg-sum-n5": SwapGame("sum"),
+            "bg-sum-n4-a2-greedy": BuyGame("sum", alpha=2.0),
+            "coop-sum-n4-a2": CooperativeBuyGame("sum", alpha=2.0),
         }[name]
     verify_sinks(report, game)
 

@@ -111,10 +111,32 @@ def statespace_layer() -> None:
           f"(basin {report.basin_sizes[first]})")
 
 
+def greedy_equilibrium_layer() -> None:
+    """Greedy equilibria: stability against single-edge deviations.
+
+    Every Nash equilibrium is a greedy equilibrium, but not vice versa:
+    for the Buy Game at alpha = 2, n = 4 there are states no single
+    edge-change improves that a multi-edge strategy rewrite does.  The
+    ``moves="greedy"`` census walks exactly Lenzner's greedy dynamics.
+    """
+    from repro import BuyGame, explore, verify_sinks
+
+    game = BuyGame("sum", alpha=2.0)
+    best = explore(game, n=4)                      # NE census (+ GE scan)
+    greedy = explore(game, n=4, moves="greedy")    # GE census
+    verify_sinks(greedy, game)  # sinks == brute-force is_greedy_stable
+    ne, ge = set(best.equilibria), set(greedy.equilibria)
+    print(f"\nBG/sum alpha=2 n=4: {len(ne)} Nash equilibria inside "
+          f"{len(ge)} greedy equilibria "
+          f"({len(ge - ne)} states only single-edge stable)")
+    assert ne < ge, "NE must sit strictly inside GE here"
+
+
 def main(n: int = 30, budget: int = 2, seed: int = 7) -> None:
     core_layer(n, budget, seed)
     scenario_layer(n, budget, seed)
     statespace_layer()
+    greedy_equilibrium_layer()
 
 
 if __name__ == "__main__":

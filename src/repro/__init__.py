@@ -4,8 +4,9 @@ Kawald & Lenzner, SPAA 2013 (arXiv:1212.4797).
 
 The package implements the sequential-move dynamics of Network Creation
 Games: the Swap Game (SG), Asymmetric Swap Game (ASG), Greedy Buy Game
-(GBG), Buy Game (BG) and the bilateral equal-split Buy Game, under SUM
-and MAX distance-cost, together with the paper's move policies,
+(GBG), Buy Game (BG), the bilateral equal-split Buy Game and the
+cooperative cost-sharing Buy Game, under SUM and MAX distance-cost,
+together with greedy-equilibrium analysis, the paper's move policies,
 counterexample instances (best-response cycles), convergence theory on
 trees, and the full empirical study of Sections 3.4 and 4.2.
 
@@ -22,6 +23,7 @@ True
 """
 
 from .core import (
+    COOP_SPLIT,
     EPS,
     AdversarialPolicy,
     AsymmetricSwapGame,
@@ -29,6 +31,7 @@ from .core import (
     BilateralGame,
     Buy,
     BuyGame,
+    CooperativeBuyGame,
     Delete,
     DeviationEvaluator,
     DistanceMode,
@@ -45,6 +48,7 @@ from .core import (
     RoundRobinPolicy,
     RunResult,
     ScriptedPolicy,
+    SharedEdgeCostRule,
     SimultaneousDynamics,
     SimultaneousResult,
     StepRecord,
@@ -102,7 +106,10 @@ __all__ = [
     "AsymmetricSwapGame",
     "GreedyBuyGame",
     "BuyGame",
+    "CooperativeBuyGame",
     "BilateralGame",
+    "SharedEdgeCostRule",
+    "COOP_SPLIT",
     "BestResponse",
     "EPS",
     "DeviationEvaluator",

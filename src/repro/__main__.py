@@ -233,12 +233,14 @@ def cmd_run(args) -> int:
 
 def _figure_specs():
     from .experiments.asg_budget import figure7_spec, figure8_spec
+    from .experiments.frontier import tree_conjecture_spec
     from .experiments.gbg import figure11_spec, figure13_spec
     from .experiments.topology import figure12_spec, figure14_spec
 
     return {
         "fig7": figure7_spec, "fig8": figure8_spec, "fig11": figure11_spec,
         "fig12": figure12_spec, "fig13": figure13_spec, "fig14": figure14_spec,
+        "tree_scan": tree_conjecture_spec,
     }
 
 
@@ -806,8 +808,10 @@ def main(argv=None) -> int:
                    help="census over every connected configuration of size n")
     p.add_argument("--figure", default=None,
                    help="explore a paper instance's reachable component instead")
-    p.add_argument("--moves", default="best", choices=["best", "improving"],
-                   help="best-response graph or full better-response graph")
+    p.add_argument("--moves", default="best",
+                   choices=["best", "improving", "greedy"],
+                   help="best-response graph, full better-response graph, or "
+                        "single-edge greedy deviations (GE census)")
     p.add_argument("--policy", default="all",
                    choices=["all", "maxcost", "first_unhappy"],
                    help="which unhappy agents may move")

@@ -2,6 +2,12 @@
 
 * :func:`is_stable` — pure Nash stability for any game type (no agent
   has an admissible improving move).
+* :func:`is_greedy_stable` — greedy-equilibrium stability (Lenzner,
+  *Greedy Selfish Network Creation*): no agent has an improving
+  *single-edge* deviation.  NE ⊆ GE for every game; the notions
+  coincide exactly for games whose full move set is single-edge
+  (SG/ASG/GBG), so the interesting gap lives in the BG and the
+  bilateral game.
 * :func:`is_pairwise_stable` — the bilateral game's solution concept
   (Corbo & Parkes): no agent wants to *delete* an incident edge, and no
   non-adjacent pair would *both* (weakly, one strictly) gain from adding
@@ -25,10 +31,13 @@ from ..graphs.properties import is_double_star, is_star, is_tree
 
 __all__ = [
     "is_stable",
+    "is_greedy_stable",
     "unhappy_agents",
+    "greedy_unhappy_agents",
     "is_pairwise_stable",
     "stable_tree_shape",
     "equilibrium_census",
+    "greedy_equilibrium_census",
 ]
 
 
@@ -37,9 +46,24 @@ def is_stable(game: Game, net: Network) -> bool:
     return game.is_stable(net)
 
 
+def is_greedy_stable(game: Game, net: Network) -> bool:
+    """Greedy-equilibrium stability: no agent has an improving
+    single-edge deviation (buy one / delete one owned / swap one edge).
+
+    Every pure NE is a GE; the converse holds exactly for games whose
+    move set is already single-edge (``game.moves_are_greedy()``).
+    """
+    return game.is_greedy_stable(net)
+
+
 def unhappy_agents(game: Game, net: Network) -> List[int]:
     """Agents with at least one admissible improving move."""
     return game.unhappy_agents(net)
+
+
+def greedy_unhappy_agents(game: Game, net: Network) -> List[int]:
+    """Agents with at least one improving single-edge deviation."""
+    return game.greedy_unhappy_agents(net)
 
 
 def is_pairwise_stable(game: BilateralGame, net: Network) -> Tuple[bool, Optional[str]]:
@@ -98,9 +122,14 @@ def equilibrium_census(
     ``report`` the full :class:`~repro.statespace.explore.ExplorationReport`
     (cycles, basin sizes, longest improving path).
 
-    The explorer's sinks are cross-checked against :func:`is_stable`
-    brute force before returning — this function never hands back a
-    census the stability oracle disagrees with.
+    The explorer's sinks are cross-checked against the brute-force
+    stability oracle of the requested moveset before returning — this
+    function never hands back a census the oracle disagrees with.  Pass
+    ``moves="greedy"`` for the greedy-equilibrium census (or use
+    :func:`greedy_equilibrium_census`); either way the returned report
+    carries *both* notions when computable — ``report.equilibria`` are
+    the sinks of the requested dynamics and ``report.greedy_equilibria``
+    the GE set, so the GE-vs-NE comparison is one census call.
     """
     from ..statespace.explore import explore, verify_sinks
 
@@ -109,6 +138,23 @@ def equilibrium_census(
     graph = report.graph
     nets = [graph.network(graph.index[bytes.fromhex(h)]) for h in report.equilibria]
     return nets, report
+
+
+def greedy_equilibrium_census(
+    game: Game,
+    n: Optional[int] = None,
+    start: Optional[Network] = None,
+    **kwargs,
+):
+    """All greedy equilibria of a game's configuration space.
+
+    :func:`equilibrium_census` under the ``greedy`` moveset: the
+    explorer expands improving single-edge deviations only, so sinks
+    are exactly the GE, cross-checked against the brute-force
+    :func:`is_greedy_stable` scan.  Returns ``(equilibria, report)``
+    like :func:`equilibrium_census`.
+    """
+    return equilibrium_census(game, n=n, start=start, moves="greedy", **kwargs)
 
 
 def stable_tree_shape(net: Network) -> str:

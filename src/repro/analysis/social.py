@@ -1,23 +1,63 @@
 """Social cost, social optima and price-of-anarchy estimation.
 
 The paper motivates dynamics by the low price of anarchy of NCGs; this
-module provides the measurement side: social cost of a state, known
-social optima on trees, and sampled PoA ratios over converged runs.
+module provides the measurement side: social cost of a state, the exact
+social optimum by state enumeration at small ``n``, the star reference
+bound at large ``n``, and sampled PoA ratios over converged runs.
+
+Reference-optimum semantics (the correctness contract of this module):
+
+* at ``n <= POA_EXACT_MAX_N`` the reference is the **exact** social
+  optimum — the minimum social cost over every connected configuration
+  (host-graph restricted when the game carries one), computed by the
+  statespace enumeration and cached per game rules;
+* at larger ``n`` the reference falls back to the **star's** social
+  cost, which is only a *bound*: the star is the SUM-optimal tree, but
+  for ``alpha < 2`` denser graphs undercut it, and under a host graph
+  that excludes a spanning star it may not even be buildable.  The
+  returned kind flag makes the distinction explicit instead of silent.
+
+Edge accounting is derived from the game's own cost rule
+(:attr:`~repro.core.costs.EdgeCostRule.total_share` — the per-edge
+fraction of alpha appearing in the social cost), never from the old
+``alpha > 0`` heuristic that mispriced equal-split games.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.costs import DistanceMode
 from ..core.games import Game
 from ..core.network import Network
-from ..graphs import adjacency as adj
 
-__all__ = ["social_cost", "star_social_cost", "PoASample", "sample_price_of_anarchy"]
+__all__ = [
+    "DegenerateInstanceError",
+    "POA_EXACT_MAX_N",
+    "social_cost",
+    "star_social_cost",
+    "edge_cost_share",
+    "exact_social_optimum",
+    "reference_social_optimum",
+    "PoASample",
+    "sample_price_of_anarchy",
+]
+
+#: largest n for which the reference optimum is computed exactly by
+#: state enumeration (2^C(n,2) topologies; n=6 is ~33k raw states).
+POA_EXACT_MAX_N = 6
+
+#: (game cache token, n) -> exact optimum; the enumeration is pure in
+#: the game rules, so one process never recomputes a cell.
+_EXACT_OPTIMUM_CACHE: Dict[tuple, Optional[float]] = {}
+
+
+class DegenerateInstanceError(ValueError):
+    """Raised when a price-of-anarchy ratio is undefined (n <= 1, or a
+    non-positive reference optimum)."""
 
 
 def social_cost(game: Game, net: Network) -> float:
@@ -25,13 +65,22 @@ def social_cost(game: Game, net: Network) -> float:
     return game.social_cost(net)
 
 
-def star_social_cost(n: int, mode: str, alpha: float = 0.0, owner_pays: bool = False) -> float:
+def star_social_cost(
+    n: int,
+    mode: str,
+    alpha: float = 0.0,
+    owner_pays: bool = False,
+    edge_share: Optional[float] = None,
+) -> float:
     """Social cost of the ``n``-vertex star (the SUM-optimal tree).
 
     SUM distance part: the centre has distance ``n-1``; each leaf has
     ``1 + 2(n-2)``.  MAX distance part: centre 1, leaves 2.  Edge part:
-    ``alpha * (n-1)`` in owner-pays games (counted once over all
-    owners), 0 otherwise.
+    ``alpha * (n-1) * edge_share`` where ``edge_share`` is the per-edge
+    fraction of alpha charged in total over both endpoints (1 for
+    owner-pays *and* equal-split rules, 0 for the swap games) — pass it
+    from :func:`edge_cost_share`; the legacy boolean ``owner_pays`` is
+    kept as a shorthand for shares 1/0.
     """
     if n <= 1:
         return 0.0
@@ -39,15 +88,99 @@ def star_social_cost(n: int, mode: str, alpha: float = 0.0, owner_pays: bool = F
         dist = (n - 1) + (n - 1) * (1 + 2 * (n - 2))
     else:
         dist = 1 + 2 * (n - 1)
-    edge = alpha * (n - 1) if owner_pays else 0.0
+    if edge_share is None:
+        edge_share = 1.0 if owner_pays else 0.0
+    edge = alpha * (n - 1) * edge_share
     return float(dist + edge)
+
+
+def edge_cost_share(game: Game) -> float:
+    """Per-edge fraction of alpha in ``game``'s *social* cost, derived
+    from the game's own edge rule (never from an ``alpha > 0`` guess).
+
+    Raises ``ValueError`` for custom rules that declare no shares.
+    """
+    share = game.edge_rule.total_share
+    if share is None:
+        raise ValueError(
+            f"edge rule {game.edge_rule.name!r} declares no owner/peer shares; "
+            "pass an explicit optimum to price-of-anarchy helpers"
+        )
+    return share
+
+
+def exact_social_optimum(game: Game, n: int) -> Optional[float]:
+    """Exact minimum social cost over every connected configuration on
+    ``n`` vertices, or ``None`` when ``n > POA_EXACT_MAX_N``.
+
+    Enumerates topologies only (``2^C(n,2)``): for every rule that
+    declares its shares the social cost is ownership-independent — each
+    edge contributes ``total_share * alpha`` in total no matter which
+    endpoint owns it — so the canonical-ownership representative prices
+    every assignment.  Host-graph restricted when the game carries one.
+    Cached per ``(game rules, n)``.
+    """
+    if n > POA_EXACT_MAX_N:
+        return None
+    edge_cost_share(game)  # raises early for share-less custom rules
+    cache_key = (game.cache_token(), n)
+    if cache_key in _EXACT_OPTIMUM_CACHE:
+        return _EXACT_OPTIMUM_CACHE[cache_key]
+    from ..statespace.explore import enumerate_states
+
+    best: Optional[float] = None
+    for net in enumerate_states(n, with_ownership=False, connected_only=True):
+        if game.host is not None and bool(np.any(net.A & ~game.host)):
+            continue
+        cost = game.social_cost(net)
+        if best is None or cost < best:
+            best = cost
+    _EXACT_OPTIMUM_CACHE[cache_key] = best
+    return best
+
+
+def reference_social_optimum(game: Game, n: int) -> Tuple[float, str]:
+    """Reference optimum for PoA ratios: ``(value, kind)``.
+
+    ``kind`` is ``"exact"`` (census optimum, small ``n``) or
+    ``"star-bound"`` (the star's social cost — a reference bound, *not*
+    a certified optimum: denser graphs undercut it for ``alpha < 2``,
+    and under a host graph excluding every spanning star it is not even
+    attainable).  Raises :class:`DegenerateInstanceError` for ``n <= 1``
+    and when a host graph leaves no connected configuration at all.
+    """
+    if n <= 1:
+        raise DegenerateInstanceError(
+            f"price of anarchy is undefined for n={n}: a <=1-agent network "
+            "has social cost 0 and no meaningful optimum"
+        )
+    exact = exact_social_optimum(game, n)
+    if exact is not None:
+        return exact, "exact"
+    return (
+        star_social_cost(n, game.mode.value, alpha=game.alpha,
+                         edge_share=edge_cost_share(game)),
+        "star-bound",
+    )
 
 
 @dataclass
 class PoASample:
-    """Sampled price-of-anarchy statistics over converged dynamics runs."""
+    """Sampled price-of-anarchy statistics over converged dynamics runs.
+
+    ``reference`` is the denominator used; ``reference_kind`` says what
+    it was — ``"exact"`` (census optimum), ``"star-bound"`` (reference
+    bound only) or ``"given"`` (caller-supplied).
+    """
 
     ratios: List[float]
+    reference: float = 0.0
+    reference_kind: str = "given"
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the denominator is a certified social optimum."""
+        return self.reference_kind == "exact"
 
     @property
     def max(self) -> float:
@@ -67,15 +200,24 @@ def sample_price_of_anarchy(
 ) -> PoASample:
     """Ratio of converged states' social cost to a reference optimum.
 
-    When ``optimum`` is omitted the star's social cost is used as the
-    reference (exact for trees under SUM; a good proxy otherwise).
+    When ``optimum`` is omitted the reference comes from
+    :func:`reference_social_optimum`: the exact census optimum at small
+    ``n``, else the star bound (flagged as such on the returned sample).
+    Edge accounting is derived from the game's cost rule.  Raises
+    :class:`DegenerateInstanceError` (a ``ValueError``) for degenerate
+    instances — ``n <= 1`` or a non-positive reference — instead of
+    dividing by zero; every returned ratio is finite.
     """
     if not finals:
         raise ValueError("no final networks given")
     n = finals[0].n
+    kind = "given"
     if optimum is None:
-        optimum = star_social_cost(
-            n, game.mode.value, alpha=game.alpha, owner_pays=game.alpha > 0
+        optimum, kind = reference_social_optimum(game, n)
+    if not optimum > 0:
+        raise DegenerateInstanceError(
+            f"reference optimum {optimum!r} is not positive; "
+            "a price-of-anarchy ratio is undefined"
         )
     ratios = [social_cost(game, f) / optimum for f in finals]
-    return PoASample(ratios)
+    return PoASample(ratios, reference=float(optimum), reference_kind=kind)

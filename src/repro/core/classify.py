@@ -66,12 +66,19 @@ def explore_improving_moves(
     start: Network,
     max_states: int = 20_000,
     best_response_only: bool = False,
+    moves: Optional[str] = None,
 ) -> StateGraph:
     """BFS over all improving-move (or best-response) successors.
 
     Returns the reachable response digraph.  ``truncated`` is set when
     the budget is exhausted; callers must treat conclusions as partial
     in that case.
+
+    ``moves`` overrides the moveset explicitly (``"best"`` |
+    ``"improving"`` | ``"greedy"``); the legacy ``best_response_only``
+    flag is kept as a shorthand for the first two.  ``"greedy"`` builds
+    the single-edge-deviation digraph, whose sinks are the greedy
+    equilibria — the graph Lenzner's greedy dynamics walk.
 
     Successor enumeration runs through the statespace subsystem's
     :class:`~repro.statespace.expand.Expander` — the same memoized,
@@ -81,7 +88,9 @@ def explore_improving_moves(
     """
     from ..statespace.expand import Expander
 
-    expander = Expander(game, moves="best" if best_response_only else "improving")
+    if moves is None:
+        moves = "best" if best_response_only else "improving"
+    expander = Expander(game, moves=moves)
     index: Dict[bytes, int] = {}
     states: List[Network] = []
     successors: List[List[int]] = []
@@ -182,15 +191,23 @@ def classify_reachable(
     start: Network,
     max_states: int = 20_000,
     best_response_only: bool = False,
+    moves: Optional[str] = None,
 ) -> ClassificationReport:
     """Classify the dynamics on the component reachable from ``start``.
 
     ``weakly_acyclic == False`` on an untruncated exploration certifies
     the paper's strongest negative claims: no sequence of improving
     (resp. best-response) moves from ``start`` reaches a stable network.
+    With ``moves="greedy"`` the same machinery classifies the
+    *greedy* dynamics (single-edge deviations): stable states are then
+    greedy equilibria and ``weakly_acyclic`` is greedy weak acyclicity.
     """
     sg = explore_improving_moves(
-        game, start, max_states=max_states, best_response_only=best_response_only
+        game,
+        start,
+        max_states=max_states,
+        best_response_only=best_response_only,
+        moves=moves,
     )
     sinks = set(sg.sinks())
     # backward reachability from sinks

@@ -45,6 +45,7 @@ from .costs import (
     SWAP_EDGE_COST,
     DistanceMode,
     EdgeCostRule,
+    SharedEdgeCostRule,
 )
 from .moves import Buy, Delete, Move, StrategyChange, Swap
 from .network import Network
@@ -56,6 +57,7 @@ __all__ = [
     "SwapGame",
     "AsymmetricSwapGame",
     "GreedyBuyGame",
+    "CooperativeBuyGame",
     "BuyGame",
     "BilateralGame",
 ]
@@ -127,6 +129,27 @@ def _move_sort_key(move: Move):
     if isinstance(move, (Buy, Delete)):
         return (move.target, -1)
     return (tuple(sorted(move.new_targets)), -2)
+
+
+def _is_single_edge_change(net: Network, move: Move) -> bool:
+    """Whether ``move`` is a *greedy* deviation (Lenzner, *Greedy Selfish
+    Network Creation*): it buys, deletes or swaps at most one edge.
+
+    ``Buy``/``Delete``/``Swap`` objects are single-edge by construction;
+    a ``StrategyChange`` qualifies iff it adds at most one target and
+    removes at most one, relative to the mover's current strategy.
+    """
+    if isinstance(move, (Swap, Buy, Delete)):
+        return True
+    if isinstance(move, StrategyChange):
+        u = move.agent
+        if move.bilateral:
+            old = set(net.neighbors(u).tolist())
+        else:
+            old = set(net.owned_targets(u).tolist())
+        new = set(move.new_targets)
+        return len(new - old) <= 1 and len(old - new) <= 1
+    return False
 
 
 def _collect_best_batches(
@@ -222,6 +245,8 @@ class Game:
             # the NP-hard-guard raise), so it is part of the rules too
             getattr(self, "max_enumeration_agents", None),
             self.host.tobytes() if self.host is not None else None,
+            # the edge rule changes every score, hence every cached result
+            self.edge_rule.name,
         )
 
     def _evaluator(
@@ -357,6 +382,70 @@ class Game:
         """``True`` iff no agent has an improving move (pure NE)."""
         return not self.unhappy_agents(net, backend=backend)
 
+    # -- greedy (single-edge) deviations -----------------------------------
+    def moves_are_greedy(self) -> bool:
+        """Whether every admissible move of this game is already a
+        single-edge deviation.  In that case the greedy equilibria (GE)
+        coincide with the pure Nash equilibria by definition, and the
+        greedy methods below fall through to the full move set at no
+        extra cost.  True for the standard swap games and the GBG;
+        False for games with multi-edge strategy changes (BG, bilateral,
+        multi-swap SG)."""
+        return False
+
+    def greedy_scored_moves(
+        self, net: Network, u: int, backend: Optional[DistanceBackend] = None
+    ) -> Iterable[Tuple[Move, float]]:
+        """``(move, new_cost_of_u)`` for every admissible *greedy*
+        deviation: buy one edge, delete one owned edge, or swap one edge
+        (Lenzner's move set).  The default filters the full move set;
+        games whose enumeration explodes override this with a direct
+        single-edge enumeration.  For the bilateral game the underlying
+        move set already applies the consent check, so greedy moves
+        there are the feasible improving single-edge changes."""
+        if self.moves_are_greedy():
+            yield from self._scored_moves(net, u, backend=backend)
+            return
+        for move, cost in self._scored_moves(net, u, backend=backend):
+            if _is_single_edge_change(net, move):
+                yield move, cost
+
+    def greedy_improving_moves(
+        self, net: Network, u: int, backend: Optional[DistanceBackend] = None
+    ) -> List[Tuple[Move, float]]:
+        """Greedy deviations that strictly decrease ``u``'s cost."""
+        cur = self.current_cost(net, u, backend=backend)
+        return [
+            (m, c)
+            for m, c in self.greedy_scored_moves(net, u, backend=backend)
+            if c < cur - EPS
+        ]
+
+    def is_greedy_unhappy(
+        self, net: Network, u: int, backend: Optional[DistanceBackend] = None
+    ) -> bool:
+        """Whether ``u`` has at least one improving greedy deviation."""
+        cur = self.current_cost(net, u, backend=backend)
+        for _, c in self.greedy_scored_moves(net, u, backend=backend):
+            if c < cur - EPS:
+                return True
+        return False
+
+    def greedy_unhappy_agents(
+        self, net: Network, backend: Optional[DistanceBackend] = None
+    ) -> List[int]:
+        """Agents with at least one improving greedy deviation."""
+        return [u for u in range(net.n) if self.is_greedy_unhappy(net, u, backend=backend)]
+
+    def is_greedy_stable(
+        self, net: Network, backend: Optional[DistanceBackend] = None
+    ) -> bool:
+        """``True`` iff no agent has an improving single-edge deviation —
+        a *greedy equilibrium* (GE).  Every NE is a GE (the greedy move
+        set is a subset of the full one); the converse holds exactly for
+        games with :meth:`moves_are_greedy`."""
+        return not self.greedy_unhappy_agents(net, backend=backend)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(mode={self.mode.value}, alpha={self.alpha})"
 
@@ -392,6 +481,11 @@ class SwapGame(Game):
         if max_swaps < 1:
             raise ValueError("max_swaps must be >= 1")
         self.max_swaps = max_swaps
+
+    def moves_are_greedy(self) -> bool:
+        # the standard swap game only ever moves one edge; the
+        # multi-swap extension is the one exception
+        return self.max_swaps == 1
 
     def _swap_sources(self, net: Network, u: int) -> np.ndarray:
         """Edges ``u`` may move: in the SG, every incident edge."""
@@ -503,8 +597,28 @@ class GreedyBuyGame(Game):
     name = "GBG"
     local_best_response = True
 
-    def __init__(self, mode: DistanceMode | str, alpha: float, host: Optional[np.ndarray] = None):
-        super().__init__(mode, alpha=alpha, host=host, edge_rule=OWNER_PAYS)
+    def __init__(
+        self,
+        mode: DistanceMode | str,
+        alpha: float,
+        host: Optional[np.ndarray] = None,
+        edge_rule: EdgeCostRule = OWNER_PAYS,
+    ):
+        super().__init__(mode, alpha=alpha, host=host, edge_rule=edge_rule)
+
+    def moves_are_greedy(self) -> bool:
+        # the GBG *is* the greedy move set: GE == NE here by definition
+        return True
+
+    def _edge_terms(self, net: Network, u: int, k: int) -> Tuple[float, float, float]:
+        """Edge-cost term of ``u`` after a buy / swap / delete, when ``u``
+        currently owns ``k`` edges.
+
+        The owner-pays closed forms are kept verbatim (the golden
+        trajectory fixtures pin their float bytes); cost-sharing
+        subclasses override this with edge_rule-derived terms.
+        """
+        return self.alpha * (k + 1), self.alpha * k, self.alpha * (k - 1)
 
     def _scored_moves(self, net: Network, u: int, backend: Optional[DistanceBackend] = None):
         evaluator = self._evaluator(net, u, backend)
@@ -515,12 +629,12 @@ class GreedyBuyGame(Game):
         allowed = self._allowed_targets(net, u)
         allowed[nbrs] = False
         candidates = np.flatnonzero(allowed)
+        buy_edge, swap_edge, delete_edge = self._edge_terms(net, u, k)
 
         # buys: keep everything, add one endpoint
         if candidates.size:
             base_all = evaluator.base_vector(nbrs)
             buy_costs = evaluator.batch_costs(base_all, candidates)
-            buy_edge = self.alpha * (k + 1)
             for w, c in zip(candidates.tolist(), buy_costs.tolist()):
                 yield Buy(u, w), buy_edge + c
 
@@ -528,10 +642,9 @@ class GreedyBuyGame(Game):
         for v in owned.tolist():
             kept = sorted(nbr_set - {v})
             base = evaluator.base_vector(kept)
-            yield Delete(u, v), self.alpha * (k - 1) + evaluator.cost_of_base(base)
+            yield Delete(u, v), delete_edge + evaluator.cost_of_base(base)
             if candidates.size:
                 swap_costs = evaluator.batch_costs(base, candidates)
-                swap_edge = self.alpha * k
                 for w, c in zip(candidates.tolist(), swap_costs.tolist()):
                     yield Swap(u, v, w), swap_edge + c
 
@@ -548,22 +661,65 @@ class GreedyBuyGame(Game):
         allowed[nbrs] = False
         candidates = np.flatnonzero(allowed)
         cand_list = candidates.tolist()
+        buy_edge, swap_edge, delete_edge = self._edge_terms(net, u, k)
 
         if candidates.size:
             buy_costs = evaluator.batch_costs(evaluator.base_vector(nbrs), candidates)
-            buy_edge = self.alpha * (k + 1)
             yield buy_edge + buy_costs, lambda i: Buy(u, cand_list[i])
 
         for v in owned.tolist():
             kept = sorted(nbr_set - {v})
             base = evaluator.base_vector(kept)
             yield (
-                np.array([self.alpha * (k - 1) + evaluator.cost_of_base(base)]),
+                np.array([delete_edge + evaluator.cost_of_base(base)]),
                 lambda i, v=v: Delete(u, v),
             )
             if candidates.size:
                 swap_costs = evaluator.batch_costs(base, candidates)
-                yield self.alpha * k + swap_costs, lambda i, v=v: Swap(u, v, cand_list[i])
+                yield swap_edge + swap_costs, lambda i, v=v: Swap(u, v, cand_list[i])
+
+
+class CooperativeBuyGame(GreedyBuyGame):
+    """Cooperative cost-sharing NCG in the greedy move model.
+
+    Demaine et al.'s cooperative network creation game splits every
+    edge's price between its endpoints; this variant keeps the GBG's
+    unilateral single-edge moves (the deciding agent buys/deletes/swaps
+    one own edge) but charges both endpoints through a
+    :class:`~repro.core.costs.SharedEdgeCostRule` — the polarised
+    simplification of the arbitrary-sharing model in which the builder
+    carries ``owner_share`` of the price and the accepting endpoint the
+    rest.  With ``owner_share=1`` the game degenerates to the GBG;
+    lower shares make edges cheaper to build and harder to be rid of
+    (deleting an owned edge refunds only the builder's share), which
+    shifts the equilibrium census.
+    """
+
+    name = "CoopGBG"
+
+    def __init__(
+        self,
+        mode: DistanceMode | str,
+        alpha: float,
+        host: Optional[np.ndarray] = None,
+        owner_share: float = 0.5,
+    ):
+        super().__init__(
+            mode, alpha=alpha, host=host, edge_rule=SharedEdgeCostRule(owner_share)
+        )
+
+    @property
+    def owner_share(self) -> float:
+        """Fraction of alpha the edge's builder pays."""
+        return self.edge_rule.owner_share
+
+    def _edge_terms(self, net: Network, u: int, k: int) -> Tuple[float, float, float]:
+        # u's moves only change its owned set, so the incoming-share part
+        # of the edge cost is invariant: price moves as base +/- the
+        # owner's marginal share
+        base = self.edge_rule(net, u, self.alpha)
+        marginal = self.edge_rule.owner_marginal(self.alpha)
+        return base + marginal, base, base - marginal
 
 
 class BuyGame(Game):
@@ -588,6 +744,21 @@ class BuyGame(Game):
     ):
         super().__init__(mode, alpha=alpha, host=host, edge_rule=OWNER_PAYS)
         self.max_enumeration_agents = max_enumeration_agents
+        self._greedy_helper: Optional[GreedyBuyGame] = None
+
+    def greedy_scored_moves(
+        self, net: Network, u: int, backend: Optional[DistanceBackend] = None
+    ) -> Iterable[Tuple[Move, float]]:
+        """Single-edge deviations priced directly, without the
+        ``2^(n-1)`` strategy enumeration — the BG's greedy deviations
+        are exactly the GBG's move set under the same cost model, so
+        greedy stability stays decidable past
+        ``max_enumeration_agents``."""
+        if self._greedy_helper is None:
+            self._greedy_helper = GreedyBuyGame(
+                self.mode, alpha=self.alpha, host=self.host, edge_rule=self.edge_rule
+            )
+        yield from self._greedy_helper._scored_moves(net, u, backend=backend)
 
     def _scored_moves(self, net: Network, u: int, backend: Optional[DistanceBackend] = None):
         if net.n > self.max_enumeration_agents:

@@ -1,0 +1,125 @@
+"""Scenario-frontier workloads: the Bilò–Lenzner tree-conjecture scan.
+
+Bilò and Lenzner's tree conjecture asks for which edge prices *every*
+equilibrium of the buy games is a tree (the modern form: for
+``alpha > n`` all NE of the SUM-BG are trees).  This module turns that
+question into a campaign: a figure-style grid over an alpha ladder
+whose per-trial metrics carry the ``is_tree_equilibrium`` flag (plus
+``poa_ratio`` and ``greedy_stable``), and a scan helper that folds the
+stored rows into a per-(alpha, n) table of non-tree equilibria — the
+empirical counterexample hunt.
+
+The spec rides the existing campaign machinery unchanged: it is
+resumable, shardable, drainable by the fabric, and reachable from the
+CLI as ``repro campaign tree_scan`` or through the registry's
+``tree_scan`` workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..registry.scenario import ScenarioSpec
+from .config import FigureSpec
+
+__all__ = [
+    "TREE_SCAN_ALPHAS",
+    "TREE_SCAN_METRICS",
+    "tree_conjecture_spec",
+    "tree_conjecture_scan",
+]
+
+#: the alpha ladder: constants below the tree threshold, size-relative
+#: rungs crossing it (the conjecture's interesting regime is alpha ~ n).
+TREE_SCAN_ALPHAS = ("1", "2", "n/2", "n", "2n")
+
+#: per-trial metrics of the scan: convergence bookkeeping plus the
+#: tree-conjecture flag and the PoA/stability instrumentation.
+TREE_SCAN_METRICS = (
+    "steps",
+    "status",
+    "converged",
+    "edges",
+    "social_cost",
+    "is_tree_equilibrium",
+    "greedy_stable",
+    "poa_ratio",
+)
+
+
+def tree_conjecture_spec(
+    game: str = "gbg",
+    mode: str = "sum",
+    alphas: Sequence[str] = TREE_SCAN_ALPHAS,
+    policy: str = "maxcost",
+    topology: str = "random",
+    m_edges: str = "2n",
+    n_values: Sequence[int] = (8, 12),
+    trials: int = 12,
+) -> FigureSpec:
+    """Campaign grid scanning an alpha ladder for non-tree equilibria.
+
+    One series per alpha; every converged trial is flagged tree/non-tree
+    by the ``is_tree_equilibrium`` metric, so the stored rows *are* the
+    scan — :func:`tree_conjecture_scan` only folds them.  ``game`` may
+    be any registered buy-game variant (``gbg``, ``bg``, ``coop``); the
+    cooperative game probes how cost sharing moves the tree threshold.
+    """
+    configs = tuple(
+        ScenarioSpec(
+            game=game,
+            policy=policy,
+            topology=topology,
+            game_params={"mode": mode, "alpha": a},
+            topology_params={"m_edges": m_edges},
+            metrics=TREE_SCAN_METRICS,
+            label=f"a={a}",
+        )
+        for a in alphas
+    )
+    return FigureSpec(
+        figure="tree_scan",
+        title=f"Tree conjecture scan: non-tree equilibria of the {game} over alpha",
+        configs=configs,
+        n_values=tuple(n_values),
+        trials=trials,
+    )
+
+
+def tree_conjecture_scan(
+    spec: FigureSpec,
+    root,
+    n_values: Optional[Sequence[int]] = None,
+) -> List[Dict]:
+    """Fold a (partially) run tree-scan campaign into its verdict table.
+
+    Reads the store at ``root`` and returns one row per (series, n)
+    cell: converged trial count, how many converged to non-tree
+    equilibria, and the witness trial indices — the empirical content of
+    the conjecture at that cell.  Rows are sorted by (series, n) and
+    pure in the stored trial set.
+    """
+    from .campaign import CampaignStore, _plan_cells, metric_payloads
+
+    use_ns = tuple(n_values) if n_values is not None else spec.n_values
+    cells = _plan_cells(spec, use_ns)
+    payloads = metric_payloads(CampaignStore(root).iter_all_records())
+    rows: List[Dict] = []
+    for cell in sorted(cells, key=lambda c: (c.series, c.n)):
+        trials = payloads.get(cell.key, {})
+        converged = {t: m for t, m in trials.items()
+                     if m.get("is_tree_equilibrium") is not None}
+        non_tree = sorted(t for t, m in converged.items()
+                          if m["is_tree_equilibrium"] is False)
+        rows.append(
+            {
+                "series": cell.series,
+                "n": cell.n,
+                "trials_recorded": len(trials),
+                "converged": len(converged),
+                "non_tree_equilibria": len(non_tree),
+                "non_tree_trials": non_tree,
+                "all_trees": not non_tree,
+            }
+        )
+    return rows

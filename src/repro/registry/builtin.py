@@ -30,12 +30,18 @@ from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
-from ..analysis.social import star_social_cost
+from ..analysis.social import (
+    DegenerateInstanceError,
+    edge_cost_share,
+    reference_social_optimum,
+    star_social_cost,
+)
 from ..core.dynamics import run_dynamics, run_simultaneous_dynamics
 from ..core.games import (
     AsymmetricSwapGame,
     BilateralGame,
     BuyGame,
+    CooperativeBuyGame,
     Game,
     GreedyBuyGame,
     SwapGame,
@@ -67,6 +73,7 @@ __all__ = [
     "TrialOutcome",
     "TrialContext",
     "ExploreWorkload",
+    "TreeScanWorkload",
     "resolve_alpha_spec",
     "resolve_m_spec",
 ]
@@ -174,6 +181,21 @@ def _bg(n: int, mode: str, alpha: str, max_enumeration_agents: int) -> Game:
 def _bilateral(n: int, mode: str, alpha: str, max_enumeration_agents: int) -> Game:
     return BilateralGame(mode, alpha=resolve_alpha_spec(alpha, n),
                          max_enumeration_agents=max_enumeration_agents)
+
+
+@REGISTRY.register(
+    "game", "coop",
+    params=(_MODE_REQ, _ALPHA,
+            Param("owner_share", "float", default=0.5,
+                  doc="fraction of alpha the edge's builder pays; the "
+                      "accepting endpoint pays the rest (Demaine et al. "
+                      "cooperative cost sharing)")),
+    doc="Cooperative Buy Game: GBG moves under shared edge-cost "
+        "(owner_share * alpha builder / rest to the other endpoint)",
+)
+def _coop(n: int, mode: str, alpha: str, owner_share: float) -> Game:
+    return CooperativeBuyGame(mode, alpha=resolve_alpha_spec(alpha, n),
+                              owner_share=owner_share)
 
 
 # ---------------------------------------------------------------------------
@@ -529,8 +551,10 @@ class ExploreWorkload:
 @REGISTRY.register(
     "workload", "explore",
     params=(
-        Param("moves", "str", default="best", choices=("best", "improving"),
-              doc="best-response graph, or every strictly improving move"),
+        Param("moves", "str", default="best",
+              choices=("best", "improving", "greedy"),
+              doc="best-response graph, every strictly improving move, or "
+                  "improving single-edge deviations (greedy equilibria)"),
         Param("agent_filter", "str", default="all",
               choices=("all", "maxcost", "first_unhappy"),
               doc="which unhappy agents may move (the policy-moveset axis)"),
@@ -610,13 +634,110 @@ def _drain_workload(
                          unit_timeout if unit_timeout > 0 else None)
 
 
+@dataclass(frozen=True)
+class TreeScanWorkload:
+    """Configured tree-conjecture alpha scan (see
+    :mod:`repro.experiments.frontier`).
+
+    The workload binds the scenario knobs — which buy-game variant,
+    distance mode, starting density; the call supplies execution
+    details (store root, seed, trial/n overrides).  It runs the
+    campaign (resumable: re-calling with the same root only fills
+    missing trials) and returns the per-(alpha, n) verdict rows from
+    :func:`~repro.experiments.frontier.tree_conjecture_scan`.
+    """
+
+    game: str
+    mode: str
+    m_edges: str
+    trials: int
+
+    def spec(self):
+        """The underlying campaign :class:`FigureSpec`."""
+        from ..experiments.frontier import tree_conjecture_spec  # deferred: experiments imports registry
+
+        return tree_conjecture_spec(
+            game=self.game, mode=self.mode, m_edges=self.m_edges,
+            trials=self.trials,
+        )
+
+    def __call__(self, root, seed: int = 0, n_values=None, **kwargs):
+        from ..experiments.campaign import run_campaign
+        from ..experiments.frontier import tree_conjecture_scan
+
+        spec = self.spec()
+        run_campaign(spec, root, seed=seed, n_values=n_values, **kwargs)
+        return tree_conjecture_scan(spec, root, n_values=n_values)
+
+
+@REGISTRY.register(
+    "workload", "tree_scan",
+    params=(
+        Param("game", "str", default="gbg", choices=("gbg", "bg", "coop"),
+              doc="which buy-game variant's equilibria to scan"),
+        Param("mode", "str", default="sum", choices=("sum", "max"),
+              doc="distance aggregation of the agent cost"),
+        Param("m_edges", "str", default="2n",
+              doc="starting density of the random initial networks"),
+        Param("trials", "int", default=12,
+              doc="dynamics runs per (alpha, n) cell"),
+    ),
+    doc="Bilò–Lenzner tree-conjecture scan: campaign over an alpha "
+        "ladder flagging non-tree equilibria per (alpha, n) cell",
+)
+def _tree_scan_workload(game: str, mode: str, m_edges: str,
+                        trials: int) -> TreeScanWorkload:
+    return TreeScanWorkload(game, mode, m_edges, trials)
+
+
 @_metric("cost_ratio",
          "final social cost / the star's social cost (the paper's PoA proxy)")
 def _m_cost_ratio(ctx: TrialContext) -> Optional[float]:
+    # edge accounting comes from the game's own cost rule, never from
+    # the old alpha>0 guess (which mispriced swap-with-alpha variants
+    # and undefined-share custom rules)
     reference = star_social_cost(
         ctx.n, ctx.game.mode.value,
-        alpha=ctx.game.alpha, owner_pays=ctx.game.alpha > 0,
+        alpha=ctx.game.alpha, edge_share=edge_cost_share(ctx.game),
     )
     if reference <= 0:
         return None
     return float(ctx.game.social_cost(ctx.final)) / reference
+
+
+@_metric("poa_ratio",
+         "final social cost / reference optimum (exact census optimum at "
+         "small n, star bound beyond; null for degenerate instances)")
+def _m_poa_ratio(ctx: TrialContext) -> Optional[float]:
+    try:
+        reference, _kind = reference_social_optimum(ctx.game, ctx.n)
+    except DegenerateInstanceError:
+        return None
+    if reference <= 0:
+        return None
+    ratio = float(ctx.game.social_cost(ctx.final)) / reference
+    return ratio if np.isfinite(ratio) else None
+
+
+@_metric("is_tree_equilibrium",
+         "converged to a stable tree? (null while not converged — the "
+         "Bilò–Lenzner tree-conjecture flag)")
+def _m_is_tree_equilibrium(ctx: TrialContext) -> Optional[bool]:
+    if ctx.outcome.status != "converged":
+        return None
+    from ..graphs.properties import is_tree
+
+    return bool(is_tree(ctx.final.A))
+
+
+@_metric("greedy_stable",
+         "is the final network a greedy equilibrium (no improving "
+         "single-edge deviation)? null when undecidable at this size")
+def _m_greedy_stable(ctx: TrialContext) -> Optional[bool]:
+    try:
+        return bool(ctx.game.is_greedy_stable(ctx.final))
+    except ValueError:
+        # bilateral-style games decide greedy stability by strategy
+        # enumeration, which is capped; past the cap the answer is
+        # unknown, not False
+        return None

@@ -12,6 +12,10 @@ reproducible across resumes, shards and worker processes.
   path in this graph).
 * ``moves="improving"`` expands *every* strictly improving move (the
   better-response digraph of the FIPG/WAG classification).
+* ``moves="greedy"`` expands every strictly improving *single-edge*
+  deviation (buy one / delete one / swap one edge) — Lenzner's greedy
+  dynamics; the sinks of this graph are the greedy equilibria (GE),
+  a superset of the pure NE.
 
 The *agent filter* is the policy-moveset axis: which unhappy agents the
 activation discipline would ever let move.  ``"all"`` is the full
@@ -46,7 +50,7 @@ __all__ = [
     "ownership_matters",
 ]
 
-MOVESETS = ("best", "improving")
+MOVESETS = ("best", "improving", "greedy")
 AGENT_FILTERS = ("all", "maxcost", "first_unhappy")
 
 
@@ -81,8 +85,9 @@ class Expander:
     game:
         the game whose move rules define the transitions.
     moves:
-        ``"best"`` (best-response graph) or ``"improving"``
-        (better-response graph).
+        ``"best"`` (best-response graph), ``"improving"``
+        (better-response graph) or ``"greedy"`` (improving single-edge
+        deviations — greedy-equilibrium dynamics).
     agent_filter:
         ``"all"`` | ``"maxcost"`` | ``"first_unhappy"`` — which unhappy
         agents may move (see the module docstring).
@@ -130,6 +135,10 @@ class Expander:
         self.memo_misses += 1
         if self.moves == "best":
             out = tuple(self.game.best_responses(net, u, backend=self.backend).moves)
+        elif self.moves == "greedy":
+            out = tuple(
+                m for m, _ in self.game.greedy_improving_moves(net, u, backend=self.backend)
+            )
         else:
             out = tuple(m for m, _ in self.game.improving_moves(net, u, backend=self.backend))
         self._agent_memo[memo_key] = out

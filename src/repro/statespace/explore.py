@@ -63,6 +63,10 @@ DEFAULT_MAX_STATES = 200_000
 #: enumeration guard: refuse state-space sizes that could never finish.
 _MAX_ENUMERATION = 2_000_000
 
+#: census size up to which the report also carries the greedy-equilibrium
+#: scan for games whose full move set is not single-edge (BG, bilateral).
+_GREEDY_SCAN_MAX = 20_000
+
 
 # ---------------------------------------------------------------------------
 # exhaustive state enumeration
@@ -363,8 +367,13 @@ class ExplorationReport:
     agent_filter: str
     n_states: int
     n_edges: int
-    #: sorted state-key hexes of all sinks (pure Nash equilibria)
+    #: sorted state-key hexes of all sinks — pure Nash equilibria under
+    #: ``moves="best"|"improving"``, greedy equilibria under ``"greedy"``
     equilibria: List[str] = field(default_factory=list)
+    #: sorted state-key hexes of all *greedy* equilibria (GE: no agent
+    #: has an improving single-edge deviation; NE ⊆ GE always).  ``None``
+    #: when the census is partial/truncated or too large to scan.
+    greedy_equilibria: Optional[List[str]] = None
     #: equilibrium hex -> number of states from which it is reachable
     basin_sizes: Dict[str, int] = field(default_factory=dict)
     #: non-trivial SCCs: {"states": sorted hexes, "witness": replayable steps}
@@ -386,6 +395,10 @@ class ExplorationReport:
         return len(self.equilibria)
 
     @property
+    def n_greedy_equilibria(self) -> Optional[int]:
+        return None if self.greedy_equilibria is None else len(self.greedy_equilibria)
+
+    @property
     def has_cycle(self) -> bool:
         return bool(self.cycles)
 
@@ -401,6 +414,9 @@ class ExplorationReport:
             "n_states": self.n_states,
             "n_edges": self.n_edges,
             "equilibria": list(self.equilibria),
+            "greedy_equilibria": (
+                None if self.greedy_equilibria is None else list(self.greedy_equilibria)
+            ),
             "basin_sizes": dict(self.basin_sizes),
             "cycles": list(self.cycles),
             "longest_improving_path": self.longest_improving_path,
@@ -440,6 +456,10 @@ class ExplorationReport:
         if self.n_equilibria > max_listed:
             lines.append(f"    … and {self.n_equilibria - max_listed} more "
                          "(see report.json)")
+        if self.greedy_equilibria is not None:
+            lines.append(
+                f"  greedy equilibria (GE): {len(self.greedy_equilibria)}"
+            )
         if self.cycles:
             lines.append(f"  best-response cycles (non-trivial SCCs): {len(self.cycles)}")
             for c in self.cycles[:max_listed]:
@@ -506,6 +526,23 @@ def build_report(
 
     longest = None if nontrivial else _longest_path(graph.n_states, succ)
 
+    # greedy equilibria (GE) alongside the sinks.  A pure function of
+    # (graph, game rules), never of discovery order:
+    # * under moves="greedy" the sinks *are* the GE;
+    # * games whose full move set is single-edge have GE == NE == sinks;
+    # * otherwise (BG, bilateral) a brute single-edge-deviation scan over
+    #   the states, run only on complete, untruncated, small censuses so
+    #   a half-drained shard never reports a scheduling-dependent set.
+    greedy_eq: Optional[List[str]] = None
+    if moves == "greedy" or game.moves_are_greedy():
+        greedy_eq = sorted(keys[s].hex() for s in sinks)
+    elif graph.complete and not graph.truncated and graph.n_states <= _GREEDY_SCAN_MAX:
+        greedy_eq = sorted(
+            keys[i].hex()
+            for i in range(graph.n_states)
+            if game.is_greedy_stable(graph.network(i))
+        )
+
     pending = len(graph.pending())
     return ExplorationReport(
         game=game_name or getattr(game, "name", type(game).__name__),
@@ -517,6 +554,7 @@ def build_report(
         n_states=graph.n_states,
         n_edges=graph.n_edges,
         equilibria=sorted(keys[s].hex() for s in sinks),
+        greedy_equilibria=greedy_eq,
         basin_sizes=basin_sizes,
         cycles=cycles,
         longest_improving_path=longest,
@@ -756,20 +794,29 @@ def verify_sinks(report: ExplorationReport, game: Game) -> None:
     """Cross-validate the census against the stability oracle.
 
     Asserts that the explorer's sink set equals the brute-force
-    :func:`repro.analysis.equilibria.is_stable` scan over *every*
-    explored state.  Raises ``AssertionError`` with the offending state
-    keys on any disagreement — used by the test harness and available to
-    callers as a self-check.
+    stability scan over *every* explored state — under the report's own
+    stability notion: :func:`repro.analysis.equilibria.is_stable` (pure
+    NE) for ``moves="best"|"improving"``, and the single-edge-deviation
+    oracle :meth:`~repro.core.games.Game.is_greedy_stable` (GE) for
+    ``moves="greedy"``.  When the report carries a
+    ``greedy_equilibria`` census it is additionally checked to contain
+    every pure NE (NE ⊆ GE).  Raises ``AssertionError`` with the
+    offending state keys on any disagreement — used by the test harness
+    and available to callers as a self-check.
     """
     from ..analysis.equilibria import is_stable
 
     graph = report.graph
     if graph is None:
         raise ValueError("report carries no in-memory graph to verify")
+    if report.moves == "greedy":
+        oracle = lambda net: game.is_greedy_stable(net)  # noqa: E731
+    else:
+        oracle = lambda net: is_stable(game, net)  # noqa: E731
     brute = {
         graph.keys[i].hex()
         for i in range(graph.n_states)
-        if graph.transitions[i] is not None and is_stable(game, graph.network(i))
+        if graph.transitions[i] is not None and oracle(graph.network(i))
     }
     explored = set(report.equilibria)
     if brute != explored:
@@ -778,3 +825,10 @@ def verify_sinks(report: ExplorationReport, game: Game) -> None:
             f"explorer-only={sorted(explored - brute)} "
             f"brute-only={sorted(brute - explored)}"
         )
+    if report.greedy_equilibria is not None and report.moves != "greedy":
+        ne_only = explored - set(report.greedy_equilibria)
+        if ne_only:
+            raise AssertionError(
+                f"NE ⊆ GE violated: pure equilibria missing from the greedy "
+                f"census: {sorted(ne_only)}"
+            )

@@ -4,15 +4,26 @@ cost and convergence statistics."""
 import numpy as np
 import pytest
 
-from repro.analysis.equilibria import is_pairwise_stable, is_stable, stable_tree_shape
+from repro.analysis.equilibria import (
+    greedy_unhappy_agents,
+    is_greedy_stable,
+    is_pairwise_stable,
+    is_stable,
+    stable_tree_shape,
+)
 from repro.analysis.social import (
+    POA_EXACT_MAX_N,
+    DegenerateInstanceError,
     PoASample,
+    edge_cost_share,
+    exact_social_optimum,
+    reference_social_optimum,
     sample_price_of_anarchy,
     social_cost,
     star_social_cost,
 )
 from repro.analysis.stats import ConvergenceStats
-from repro.core.games import BilateralGame, GreedyBuyGame, SwapGame
+from repro.core.games import BilateralGame, BuyGame, GreedyBuyGame, SwapGame
 from repro.core.network import Network
 from repro.graphs.generators import (
     double_star_network,
@@ -55,6 +66,35 @@ class TestEquilibriumCensus:
         nets, report = equilibrium_census(game, start=path_network(4))
         assert nets and report.complete
         assert all(is_stable(game, net) for net in nets)
+
+
+class TestGreedyStability:
+    def test_ne_is_ge_but_not_conversely(self):
+        game = BuyGame("sum", alpha=2.0)
+        star = star_network(5)
+        assert is_stable(game, star) and is_greedy_stable(game, star)
+        # the path is neither, and its greedy-unhappy agents are a
+        # subset of its NE-unhappy agents
+        path = path_network(5)
+        assert not is_greedy_stable(game, path)
+        assert set(greedy_unhappy_agents(game, path)) <= set(
+            game.unhappy_agents(path))
+
+    def test_greedy_census_matches_greedy_moveset_explore(self):
+        from repro.analysis.equilibria import (
+            equilibrium_census,
+            greedy_equilibrium_census,
+        )
+
+        game = BuyGame("sum", alpha=2.0)
+        nets, report = greedy_equilibrium_census(game, n=3)
+        assert report.moves == "greedy"
+        assert len(nets) == report.n_equilibria == 12
+        assert all(is_greedy_stable(game, net) for net in nets)
+        # the NE census of the same game carries the GE set for free
+        ne_nets, ne_report = equilibrium_census(game, n=3)
+        assert set(ne_report.greedy_equilibria) == set(report.equilibria)
+        assert set(ne_report.equilibria) <= set(report.equilibria)
 
 
 class TestPairwiseStability:
@@ -108,12 +148,66 @@ class TestSocialCost:
         game = SwapGame("sum")
         finals = [star_network(6), double_star_network(2, 2)]
         poa = sample_price_of_anarchy(game, finals)
-        assert poa.ratios[0] == pytest.approx(1.0)
+        # n=6 gets the exact census optimum (the clique at alpha=0:
+        # social cost n(n-1)=30), so the star is strictly above it
+        assert poa.reference_kind == "exact" and poa.is_exact
+        assert poa.reference == pytest.approx(30.0)
+        assert poa.ratios[0] == pytest.approx(star_social_cost(6, "sum") / 30.0)
         assert poa.max >= poa.mean >= 1.0
+
+    def test_poa_sample_explicit_optimum(self):
+        game = SwapGame("sum")
+        poa = sample_price_of_anarchy(game, [star_network(6)],
+                                      optimum=star_social_cost(6, "sum"))
+        assert poa.reference_kind == "given" and not poa.is_exact
+        assert poa.ratios[0] == pytest.approx(1.0)
 
     def test_poa_empty_raises(self):
         with pytest.raises(ValueError):
             sample_price_of_anarchy(SwapGame("sum"), [])
+
+    def test_poa_degenerate_n_raises_named_error(self):
+        lonely = Network(np.zeros((1, 1), dtype=bool), np.zeros((1, 1), dtype=bool))
+        with pytest.raises(DegenerateInstanceError):
+            sample_price_of_anarchy(GreedyBuyGame("sum", alpha=1.0), [lonely])
+
+    def test_poa_star_bound_flagged_past_exact_range(self):
+        n = POA_EXACT_MAX_N + 2
+        game = GreedyBuyGame("sum", alpha=1.0)
+        poa = sample_price_of_anarchy(game, [star_network(n)])
+        assert poa.reference_kind == "star-bound" and not poa.is_exact
+        assert poa.ratios[0] == pytest.approx(1.0)
+
+    def test_edge_share_from_rule_not_alpha(self):
+        # bilateral equal-split: both endpoints pay alpha/2, so the
+        # per-edge total is alpha — the old alpha>0 heuristic happened to
+        # agree here, but the share must come from the rule
+        assert edge_cost_share(BilateralGame("sum", alpha=3.0)) == 1.0
+        assert edge_cost_share(SwapGame("sum")) == 0.0
+        assert edge_cost_share(GreedyBuyGame("sum", alpha=2.0)) == 1.0
+        star = star_social_cost(5, "sum", alpha=3.0, edge_share=1.0)
+        assert star == star_social_cost(5, "sum", alpha=3.0, owner_pays=True)
+
+    def test_exact_optimum_alpha_tradeoff(self):
+        # alpha < 2: the clique undercuts every tree; alpha > 2: trees win
+        cheap = exact_social_optimum(GreedyBuyGame("sum", alpha=0.5), 4)
+        assert cheap == pytest.approx(6 * 0.5 + 12)  # clique: 6 edges, dist 12
+        dear = exact_social_optimum(GreedyBuyGame("sum", alpha=10.0), 4)
+        assert dear == pytest.approx(3 * 10.0 + star_social_cost(4, "sum"))
+
+    def test_exact_optimum_respects_host_graph(self):
+        # host = path 0-1-2-3: no spanning star exists, and the only
+        # connected subgraph is the path itself
+        n = 4
+        host = np.zeros((n, n), dtype=bool)
+        for u in range(n - 1):
+            host[u, u + 1] = host[u + 1, u] = True
+        game = GreedyBuyGame("sum", alpha=1.0, host=host)
+        path = path_network(n)
+        ref, kind = reference_social_optimum(game, n)
+        assert kind == "exact"
+        assert ref == pytest.approx(game.social_cost(path))
+        assert ref > star_social_cost(n, "sum", alpha=1.0, edge_share=1.0)
 
 
 class TestConvergenceStats:

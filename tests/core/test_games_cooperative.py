@@ -1,0 +1,146 @@
+"""The cooperative cost-sharing buy game and its shared edge rule."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.costs import COOP_SPLIT, OWNER_PAYS, SharedEdgeCostRule
+from repro.core.games import BuyGame, CooperativeBuyGame, GreedyBuyGame
+from repro.core.policies import MaxCostPolicy
+from repro.core.dynamics import run_dynamics
+from repro.graphs.generators import path_network, star_network
+
+
+class TestSharedEdgeCostRule:
+    def test_prices_both_endpoints(self):
+        # star: the centre owns every edge, the leaves accept them
+        net = star_network(5)
+        rule = SharedEdgeCostRule(0.5)
+        # centre owns 4 edges at half price each
+        assert rule(net, 0, alpha=2.0) == pytest.approx(4 * 1.0)
+        # each leaf has 1 incoming edge at half price
+        assert rule(net, 1, alpha=2.0) == pytest.approx(1.0)
+
+    def test_asymmetric_share(self):
+        net = star_network(4)
+        rule = SharedEdgeCostRule(0.75)
+        assert rule(net, 0, alpha=4.0) == pytest.approx(3 * 0.75 * 4.0)
+        assert rule(net, 1, alpha=4.0) == pytest.approx(0.25 * 4.0)
+
+    def test_vector_matches_scalar(self):
+        net = path_network(6)
+        rule = SharedEdgeCostRule(0.3)
+        vec = rule.vector(net, alpha=1.7)
+        for u in range(net.n):
+            assert vec[u] == pytest.approx(rule(net, u, alpha=1.7))
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError, match="owner_share"):
+            SharedEdgeCostRule(1.5)
+        with pytest.raises(ValueError, match="owner_share"):
+            SharedEdgeCostRule(-0.1)
+
+    def test_declared_shares_and_marginal(self):
+        rule = SharedEdgeCostRule(0.5)
+        assert rule.total_share == 1.0
+        assert rule.owner_marginal(3.0) == pytest.approx(1.5)
+        assert OWNER_PAYS.owner_marginal(3.0) == pytest.approx(3.0)
+        assert COOP_SPLIT.owner_share == 0.5
+
+    def test_shareless_rule_refuses_marginal(self):
+        from repro.core.costs import EdgeCostRule
+
+        custom = EdgeCostRule(lambda net, u, alpha: 0.0, "custom")
+        assert custom.total_share is None
+        with pytest.raises(ValueError, match="custom"):
+            custom.owner_marginal(1.0)
+
+    def test_pickles_by_parameter(self):
+        rule = pickle.loads(pickle.dumps(SharedEdgeCostRule(0.25)))
+        assert isinstance(rule, SharedEdgeCostRule)
+        assert rule.owner_share == 0.25
+
+
+class TestCooperativeBuyGame:
+    def test_full_owner_share_degenerates_to_gbg(self):
+        coop = CooperativeBuyGame("sum", alpha=2.0, owner_share=1.0)
+        gbg = GreedyBuyGame("sum", alpha=2.0)
+        net = path_network(5)
+        for u in range(net.n):
+            coop_moves = dict(coop._scored_moves(net, u))
+            gbg_moves = dict(gbg._scored_moves(net, u))
+            assert coop_moves == gbg_moves
+
+    def test_split_halves_the_builder_price(self):
+        coop = CooperativeBuyGame("sum", alpha=2.0)
+        gbg = GreedyBuyGame("sum", alpha=2.0)
+        net = path_network(4)
+        # agent 3 buying the chord to 0 shortens distances identically in
+        # both games; only the *marginal* edge price differs: the
+        # cooperative builder pays alpha/2 extra, the GBG builder alpha
+        from repro.core.moves import Buy
+
+        mv = Buy(3, 0)
+        coop_delta = dict(coop._scored_moves(net, 3))[mv] - coop.current_cost(net, 3)
+        gbg_delta = dict(gbg._scored_moves(net, 3))[mv] - gbg.current_cost(net, 3)
+        assert coop_delta == pytest.approx(gbg_delta - 1.0)
+
+    def test_cost_model_consistency(self):
+        """_edge_terms pricing must agree with current_cost on the
+        mutated network (the generic copy path)."""
+        game = CooperativeBuyGame("sum", alpha=1.3, owner_share=0.4)
+        net = path_network(5)
+        for u in range(net.n):
+            for mv, priced in game._scored_moves(net, u):
+                trial = net.copy()
+                mv.apply(trial)
+                assert priced == pytest.approx(game.current_cost(trial, u))
+
+    def test_moves_are_greedy_and_stability(self):
+        game = CooperativeBuyGame("sum", alpha=6.0)
+        assert game.moves_are_greedy()
+        # high alpha: the star is stable (buying costs alpha/2 = 3 >
+        # the at most n-2 = 3... use strict margin via alpha=8)
+        game = CooperativeBuyGame("sum", alpha=8.0)
+        assert game.is_stable(star_network(5))
+        assert game.is_greedy_stable(star_network(5))
+
+    def test_dynamics_converge(self):
+        game = CooperativeBuyGame("sum", alpha=2.0)
+        result = run_dynamics(game, path_network(6), MaxCostPolicy(), seed=3)
+        assert result.converged
+        assert game.is_greedy_stable(result.final)
+
+    def test_pickles(self):
+        game = pickle.loads(pickle.dumps(CooperativeBuyGame("sum", alpha=2.0,
+                                                            owner_share=0.25)))
+        assert game.owner_share == 0.25
+        assert "shared-0.25" in str(game.cache_token())
+
+    def test_cache_token_distinguishes_shares(self):
+        a = CooperativeBuyGame("sum", alpha=2.0, owner_share=0.5)
+        b = CooperativeBuyGame("sum", alpha=2.0, owner_share=0.25)
+        assert a.cache_token() != b.cache_token()
+
+
+class TestBuyGameGreedyDeviations:
+    def test_bg_greedy_moves_stay_decidable_past_enumeration_cap(self):
+        """BG strategy enumeration is capped, but its *greedy* deviations
+        are the GBG's move set — decidable at any n."""
+        game = BuyGame("sum", alpha=2.0)
+        n = game.max_enumeration_agents + 3
+        net = path_network(n)
+        moves = list(game.greedy_improving_moves(net, n - 1))
+        assert moves  # the path end always wants a chord at alpha=2
+        with pytest.raises(ValueError):
+            game.is_stable(net)  # exact stability is refused at this n
+        assert game.is_greedy_stable(star_network(n)) in (True, False)
+
+    def test_bg_greedy_matches_gbg_scores(self):
+        game = BuyGame("sum", alpha=1.5)
+        gbg = GreedyBuyGame("sum", alpha=1.5)
+        net = path_network(5)
+        for u in range(net.n):
+            assert dict(game.greedy_scored_moves(net, u)) == dict(
+                gbg._scored_moves(net, u))

@@ -94,15 +94,19 @@ class TestComponentValidation:
 
 class TestRegistry:
     def test_builtin_components_present(self):
-        assert set(REGISTRY.names("game")) == {"sg", "asg", "gbg", "bg", "bilateral"}
+        assert set(REGISTRY.names("game")) == {
+            "sg", "asg", "gbg", "bg", "bilateral", "coop"}
         assert {"maxcost", "random", "greedy", "noisy", "first_unhappy",
                 "round_robin"} <= set(REGISTRY.names("policy"))
         assert set(REGISTRY.names("dynamics")) == {"sequential", "simultaneous"}
         assert {"budget", "random", "rl", "dl", "tree", "star", "path"} <= set(
             REGISTRY.names("topology"))
         assert {"steps", "status", "converged", "rounds", "social_cost",
-                "max_agent_cost", "diameter", "edges", "cost_ratio"} <= set(
+                "max_agent_cost", "diameter", "edges", "cost_ratio",
+                "poa_ratio", "is_tree_equilibrium", "greedy_stable"} <= set(
             REGISTRY.names("metric"))
+        assert {"explore", "drain", "tree_scan"} <= set(
+            REGISTRY.names("workload"))
 
     def test_unknown_lookups_list_choices(self):
         with pytest.raises(ValueError, match="unknown game 'chess'.*registered:"):

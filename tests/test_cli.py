@@ -118,6 +118,14 @@ class TestCampaign:
         assert main(base + ["--shard", "1/2", "--resume"]) == 0
         assert "0/12 remaining" in capsys.readouterr().out
 
+    def test_campaign_tree_scan(self, capsys, tmp_path):
+        assert main(["campaign", "tree_scan", "--trials", "1", "--n", "6",
+                     "--jobs", "1", "--seed", "3",
+                     "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign tree_scan" in out and "0/5 remaining" in out
+        assert "a=2n" in out  # the alpha ladder's series reached the tables
+
     def test_campaign_unknown_figure(self, capsys, tmp_path):
         assert main(["campaign", "fig99", "--results-dir", str(tmp_path)]) == 2
 
@@ -434,6 +442,16 @@ class TestExplore:
         assert "equilibria: 26" in out
         assert "cycles: none" in out
         assert (tmp_path / "explore-sg-sum-n4" / "report.json").exists()
+
+    def test_greedy_moveset_census(self, capsys, tmp_path):
+        rc = main(["explore", "--game", "bg", "--alpha", "2", "--n", "3",
+                   "--moves", "greedy", "--results-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "greedy moves" in out
+        assert "greedy equilibria (GE): 12" in out
+        assert (tmp_path / "explore-bg-sum-n3-a2-greedy"
+                / "report.json").exists()
 
     def test_kill_resume_byte_identical_report(self, capsys, tmp_path):
         """The acceptance criterion: a killed run resumed later writes
