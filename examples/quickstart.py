@@ -132,11 +132,42 @@ def greedy_equilibrium_layer() -> None:
     assert ne < ge, "NE must sit strictly inside GE here"
 
 
+def service_layer(budget: int, seed: int) -> None:
+    """Simulation-as-a-service: the same campaign, but submitted to a
+    live job server and watched over a websocket.
+
+    ``ServiceThread`` runs the real asyncio server (the one behind
+    ``repro serve``) on an ephemeral port; the client submits a
+    registry-validated spec, streams every trial record as the worker
+    writes it — byte-identical to a direct run — and fetches the final
+    aggregate.
+    """
+    import tempfile
+
+    from repro import ServiceConfig, ServiceThread
+
+    spec = {"game": {"name": "asg", "params": {"mode": "sum"}},
+            "topology": {"name": "budget", "params": {"budget": budget}}}
+    config = ServiceConfig(state_dir=tempfile.mkdtemp(prefix="quickstart-svc-"),
+                           workers=1)
+    with ServiceThread(config) as svc:
+        client = svc.client(token="quickstart")
+        job = client.submit({"kind": "trial", "spec": spec,
+                             "n": 12, "trials": 3, "seed": seed})
+        print(f"\nservice job {job['id']}: submitted as {job['state']}")
+        records = [item for kind, item in client.stream(job["id"])
+                   if kind == "record"]
+        print(f"  streamed {len(records)} trial records live, e.g. {records[0]}")
+        result = client.result(job["id"])["result"]
+        print(f"  final aggregate over {result['total']} trials fetched")
+
+
 def main(n: int = 30, budget: int = 2, seed: int = 7) -> None:
     core_layer(n, budget, seed)
     scenario_layer(n, budget, seed)
     statespace_layer()
     greedy_equilibrium_layer()
+    service_layer(budget, seed)
 
 
 if __name__ == "__main__":

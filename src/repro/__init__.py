@@ -81,6 +81,13 @@ from .registry import (
     ScenarioSpec,
     as_scenario,
 )
+from .service import (
+    JobManager,
+    QuotaPolicy,
+    ReproService,
+    ServiceConfig,
+    ServiceThread,
+)
 from .statespace import (
     Expander,
     ExplorationReport,
@@ -157,6 +164,12 @@ __all__ = [
     "enumerate_states",
     "explore",
     "verify_sinks",
+    # simulation service
+    "JobManager",
+    "QuotaPolicy",
+    "ReproService",
+    "ServiceConfig",
+    "ServiceThread",
     # generators
     "random_budget_network",
     "random_m_edge_network",

@@ -101,6 +101,11 @@ def cmd_scenarios(args) -> int:
 
     from .registry import REGISTRY
 
+    if args.schema:
+        from .registry.schema import scenario_json_schema
+
+        print(json.dumps(scenario_json_schema(), indent=2, sort_keys=True))
+        return 0
     categories = [args.category] if args.category else list(REGISTRY.categories())
     for c in categories:
         if c not in REGISTRY.categories():
@@ -442,6 +447,25 @@ def cmd_drain(args) -> int:
     return 1
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: the simulation-as-a-service job server."""
+    from .registry import REGISTRY
+
+    try:
+        workload = REGISTRY.build(
+            "workload", "serve",
+            {"workers": args.workers, "max_jobs": args.max_jobs,
+             "max_jobs_per_client": args.max_jobs_per_client,
+             "max_n": args.max_n, "max_trials": args.max_trials,
+             "max_states": args.max_states},
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    return workload(args.state_dir, host=args.host, port=args.port,
+                    banner=True)
+
+
 def cmd_compact(args) -> int:
     """``repro compact``: fold a store's JSONL records into columnar."""
     import json
@@ -701,6 +725,9 @@ def main(argv=None) -> int:
                    help="restrict to one category")
     p.add_argument("--json", action="store_true",
                    help="machine-readable registry dump")
+    p.add_argument("--schema", action="store_true",
+                   help="emit the JSON Schema for ScenarioSpec payloads "
+                        "(what POST /jobs of `repro serve` accepts)")
     p.set_defaults(func=cmd_scenarios)
 
     p = sub.add_parser("run", help="one dynamics run of any registered scenario")
@@ -771,6 +798,29 @@ def main(argv=None) -> int:
                    help="with --compact: delete the JSONL files the "
                         "compaction fully covers")
     p.set_defaults(func=cmd_drain)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service job server (HTTP + websocket)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8440,
+                   help="listen port (0 = ephemeral, printed on startup)")
+    p.add_argument("--state-dir", default="results/service",
+                   help="durable job-table root; restarting on the same dir "
+                        "resumes every in-flight job")
+    p.add_argument("--workers", type=int, default=2,
+                   help="job worker processes")
+    p.add_argument("--max-jobs", type=int, default=64,
+                   help="queued-job cap (503 + Retry-After beyond)")
+    p.add_argument("--max-jobs-per-client", type=int, default=8,
+                   help="active jobs per client token (429 beyond)")
+    p.add_argument("--max-n", type=int, default=200,
+                   help="largest n one job may request (422 beyond)")
+    p.add_argument("--max-trials", type=int, default=500,
+                   help="most trials one job may request (422 beyond)")
+    p.add_argument("--max-states", type=int, default=200_000,
+                   help="largest exploration budget one job may request")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "compact",

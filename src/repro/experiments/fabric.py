@@ -77,8 +77,9 @@ import threading
 import time
 import warnings
 from dataclasses import dataclass, field
+from collections import deque
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..testing.faults import resolve_fs
 from .campaign import (
@@ -155,6 +156,10 @@ class WorkQueue:
         #: fingerprints observed against the *reaper's* clock are what
         #: make lease expiry immune to worker clock skew.
         self._observed: Dict[str, Tuple[tuple, float]] = {}
+        #: cached pending-dir listing, consumed head-first by claims and
+        #: refreshed at most once per claim (on miss/exhaustion), so the
+        #: per-claim cost no longer scales with queue depth.
+        self._pending_cache: Deque[Path] = deque()
 
     def ensure_dirs(self) -> None:
         for d in (self.pending, self.leased, self.done, self.failed):
@@ -212,26 +217,52 @@ class WorkQueue:
         reap can rewrite a lease file just after the reaper requeued
         the unit, and the next claim's rename simply clobbers the
         ghost with the real lease.
+
+        The pending listing is cached across claims and re-globbed at
+        most once per call, when the cache runs dry — draining N units
+        costs one listing per cache fill instead of one per claim.
+        Units another queue instance enqueues or requeues surface at
+        the next refresh; units passed over (retry backoff, torn
+        mid-write by a killed ``initialize``) go back to the cache head
+        for the next claim.
         """
         now = time.time()
-        for path in sorted(self.pending.glob("*.json")):
-            unit = self._read(path)
-            if unit is None or unit.get("not_before", 0.0) > now:
-                continue
-            target = self.leased / path.name
-            try:
-                self.fs.rename(path, target)
-            except OSError:
-                continue  # lost the race for this unit — try the next
-            unit["owner"] = worker
-            unit["beat"] = 0
-            unit["elapsed"] = 0.0
-            try:
-                self._write(target, unit)
-            except OSError:
-                pass  # reaped at the instant of claim; treat as claimed anyway
-            return Lease(unit, target)
-        return None
+        cache = self._pending_cache
+        deferred: List[Path] = []
+        refreshed = False
+        try:
+            while True:
+                if not cache:
+                    if refreshed:
+                        return None
+                    refreshed = True
+                    deferred.clear()  # the fresh listing re-covers them
+                    cache.extend(sorted(self.pending.glob("*.json")))
+                    continue
+                path = cache.popleft()
+                unit = self._read(path)
+                if unit is None:
+                    if path.exists():
+                        deferred.append(path)  # torn mid-write: retry later
+                    continue  # claimed/moved by a racer: drop from cache
+                if unit.get("not_before", 0.0) > now:
+                    deferred.append(path)  # inside its backoff window
+                    continue
+                target = self.leased / path.name
+                try:
+                    self.fs.rename(path, target)
+                except OSError:
+                    continue  # lost the race for this unit — try the next
+                unit["owner"] = worker
+                unit["beat"] = 0
+                unit["elapsed"] = 0.0
+                try:
+                    self._write(target, unit)
+                except OSError:
+                    pass  # reaped at the instant of claim; treat as claimed anyway
+                return Lease(unit, target)
+        finally:
+            cache.extendleft(reversed(deferred))
 
     def heartbeat(self, lease: Lease, elapsed: Optional[float] = None) -> bool:
         """Refresh the lease by *content*: bump the beat counter and

@@ -690,6 +690,73 @@ def _tree_scan_workload(game: str, mode: str, m_edges: str,
     return TreeScanWorkload(game, mode, m_edges, trials)
 
 
+@dataclass(frozen=True)
+class ServeWorkload:
+    """Configured simulation service (see :mod:`repro.service`).
+
+    The workload binds the capacity knobs — worker pool size and the
+    admission quotas; the call supplies deployment details (state dir,
+    host, port) and blocks until SIGTERM/SIGINT drains the server.
+    None of the knobs change what a job computes: results are the same
+    records ``repro campaign`` / ``repro explore`` would store.
+    """
+
+    workers: int
+    max_jobs: int
+    max_jobs_per_client: int
+    max_n: int
+    max_trials: int
+    max_states: int
+
+    def config(self, state_dir, host: str = "127.0.0.1", port: int = 8440,
+               **kwargs):
+        """A :class:`~repro.service.server.ServiceConfig` for this workload."""
+        from ..service.quotas import QuotaPolicy
+        from ..service.server import ServiceConfig
+
+        quota = QuotaPolicy(
+            max_queued=self.max_jobs,
+            max_jobs_per_client=self.max_jobs_per_client,
+            max_n=self.max_n, max_trials=self.max_trials,
+            max_states=self.max_states,
+        )
+        return ServiceConfig(state_dir=state_dir, host=host, port=port,
+                             workers=self.workers, quota=quota, **kwargs)
+
+    def __call__(self, state_dir, host: str = "127.0.0.1", port: int = 8440,
+                 **kwargs) -> int:
+        from ..service.server import serve
+
+        return serve(self.config(state_dir, host, port, **kwargs))
+
+
+@REGISTRY.register(
+    "workload", "serve",
+    params=(
+        Param("workers", "int", default=2,
+              doc="job worker processes (0 = admission-only, never runs)"),
+        Param("max_jobs", "int", default=64,
+              doc="queued-job admission cap; beyond it submissions get "
+                  "503 + Retry-After"),
+        Param("max_jobs_per_client", "int", default=8,
+              doc="active jobs one client token may hold (429 beyond)"),
+        Param("max_n", "int", default=200,
+              doc="largest n a submitted spec may request (422 beyond)"),
+        Param("max_trials", "int", default=500,
+              doc="most trials one job may request (422 beyond)"),
+        Param("max_states", "int", default=200_000,
+              doc="largest exploration budget one job may request"),
+    ),
+    doc="simulation-as-a-service: async HTTP/websocket job server with "
+        "durable resumable jobs and live record streaming",
+)
+def _serve_workload(workers: int, max_jobs: int, max_jobs_per_client: int,
+                    max_n: int, max_trials: int,
+                    max_states: int) -> ServeWorkload:
+    return ServeWorkload(workers, max_jobs, max_jobs_per_client,
+                         max_n, max_trials, max_states)
+
+
 @_metric("cost_ratio",
          "final social cost / the star's social cost (the paper's PoA proxy)")
 def _m_cost_ratio(ctx: TrialContext) -> Optional[float]:

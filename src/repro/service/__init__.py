@@ -1,0 +1,61 @@
+"""repro.service — simulation-as-a-service over the registry + stores.
+
+A long-running asyncio job server, stdlib-only (no FastAPI/starlette —
+the same pure-python-fallback ethos as ``experiments/columnar.py``):
+
+- :mod:`.protocol` — minimal HTTP/1.1 request handling plus an RFC 6455
+  websocket implementation (handshake, frame codec, ping/pong, close)
+  on asyncio streams.  The frame codec is sans-io so the same code
+  serves the async server, the sync client, and the unit tests.
+- :mod:`.jobs` — the durable job table.  Each job owns a directory with
+  an atomically-replaced ``job.json`` plus a per-job
+  :class:`~repro.experiments.campaign.CampaignStore` /
+  :class:`~repro.statespace.store.ExplorationStore`, so a killed server
+  resumes every in-flight job on restart with zero recomputation of
+  completed units.
+- :mod:`.quotas` — admission control: max queued jobs (503 +
+  Retry-After), max jobs per client token (429), per-spec size caps
+  (422 with named error codes).
+- :mod:`.api` — the REST surface: ``POST /jobs``, ``GET /jobs/{id}``,
+  ``GET /jobs/{id}/result``, ``DELETE /jobs/{id}``, ``GET /scenarios``,
+  ``GET /scenarios/schema``.
+- :mod:`.stream` — ``GET /jobs/{id}/stream`` websocket: replays stored
+  records then tails live ones.  Records are sent as the *exact* bytes
+  the store holds (one serialization, no drift); a slow client drops to
+  summary-only mode instead of blocking the worker.
+- :mod:`.server` — the asyncio server, SIGTERM graceful drain (PR 7
+  semantics), and :class:`ServiceThread` for in-process embedding.
+- :mod:`.client` — a blocking stdlib client (http.client + a raw-socket
+  websocket) used by the examples, the smoke test, and the load bench.
+"""
+
+from .client import ServiceClient
+from .jobs import JOB_KINDS, JOB_STATES, Job, JobManager, JobRejected
+from .protocol import (
+    ProtocolError,
+    WebSocket,
+    decode_frame,
+    encode_frame,
+    websocket_accept_key,
+)
+from .quotas import QuotaPolicy
+from .server import ReproService, ServiceConfig, ServiceThread, serve
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "Job",
+    "JobManager",
+    "JobRejected",
+    "ProtocolError",
+    "QuotaPolicy",
+    "ReproService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceThread",
+    "WebSocket",
+    "decode_frame",
+    "encode_frame",
+    "serve",
+    "websocket_accept_key",
+]

@@ -1,0 +1,210 @@
+"""A blocking stdlib client for the job service.
+
+``http.client`` for the REST verbs, a raw masked-frame socket for the
+websocket stream — no dependencies, so the examples, the CI smoke
+script, and the load bench all speak the real wire protocol.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import socket
+import time
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from .protocol import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    ProtocolError,
+    decode_frame,
+    encode_close,
+    encode_frame,
+    websocket_accept_key,
+)
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx REST response, with the named error body attached."""
+
+    def __init__(self, status: int, payload: dict,
+                 headers: Dict[str, str]) -> None:
+        code = payload.get("error", "error") if isinstance(payload, dict) else "error"
+        detail = payload.get("detail", "") if isinstance(payload, dict) else ""
+        super().__init__(f"HTTP {status} {code}: {detail}")
+        self.status = status
+        self.payload = payload
+        self.headers = headers
+
+    @property
+    def retry_after(self) -> Optional[int]:
+        value = self.headers.get("retry-after")
+        return int(value) if value is not None else None
+
+
+class ServiceClient:
+    """One service endpoint; stateless between calls (one-shot requests)."""
+
+    def __init__(self, host: str, port: int, *, token: Optional[str] = None,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.token = token
+        self.timeout = timeout
+
+    # -- REST --------------------------------------------------------------
+    def request(self, method: str, path: str,
+                payload: Optional[object] = None,
+                ) -> Tuple[int, Dict[str, str], object]:
+        """One HTTP exchange; returns (status, headers, parsed body)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        headers = {}
+        if self.token is not None:
+            headers["X-Client-Token"] = self.token
+        body = None
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            status = response.status
+            resp_headers = {k.lower(): v for k, v in response.getheaders()}
+        finally:
+            conn.close()
+        try:
+            parsed: object = json.loads(raw) if raw else None
+        except json.JSONDecodeError:
+            parsed = raw.decode("utf-8", errors="replace")
+        return status, resp_headers, parsed
+
+    def _checked(self, method: str, path: str,
+                 payload: Optional[object] = None) -> object:
+        status, headers, parsed = self.request(method, path, payload)
+        if status >= 400:
+            raise ServiceError(status, parsed if isinstance(parsed, dict)
+                               else {"error": "error", "detail": str(parsed)},
+                               headers)
+        return parsed
+
+    def submit(self, job: dict) -> dict:
+        """``POST /jobs`` — returns the created job view (or raises
+        :class:`ServiceError` carrying the named 4xx/503 body)."""
+        return self._checked("POST", "/jobs", job)
+
+    def job(self, job_id: str) -> dict:
+        return self._checked("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._checked("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._checked("DELETE", f"/jobs/{job_id}")
+
+    def scenarios(self) -> dict:
+        return self._checked("GET", "/scenarios")
+
+    def schema(self) -> dict:
+        return self._checked("GET", "/scenarios/schema")
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll: float = 0.1) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["state"] in ("done", "failed", "cancelled"):
+                return view
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {view['state']} "
+                                   f"after {timeout}s")
+            time.sleep(poll)
+
+    # -- websocket stream --------------------------------------------------
+    def stream(self, job_id: str) -> Iterator[Tuple[str, Union[str, dict]]]:
+        """Yield ``("record", raw-line)`` / ``("event", dict)`` messages.
+
+        Records are the exact stored bytes (as text); the iterator ends
+        after the server's ``end`` event (or when it closes).
+        """
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        try:
+            yield from self._stream_frames(sock, job_id)
+        finally:
+            sock.close()
+
+    def _stream_frames(self, sock: socket.socket, job_id: str):
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        lines = [f"GET /jobs/{job_id}/stream HTTP/1.1",
+                 f"Host: {self.host}:{self.port}",
+                 "Upgrade: websocket", "Connection: Upgrade",
+                 f"Sec-WebSocket-Key: {key}", "Sec-WebSocket-Version: 13"]
+        if self.token is not None:
+            lines.append(f"X-Client-Token: {self.token}")
+        sock.sendall(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+
+        buf = self._read_until(sock, b"\r\n\r\n")
+        head, _, rest = buf.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        if " 101 " not in f"{status_line} ":
+            raise ServiceError(int(status_line.split(" ")[1]),
+                               {"error": "handshake-refused",
+                                "detail": status_line}, {})
+        accept = websocket_accept_key(key)
+        got = ""
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"sec-websocket-accept":
+                got = value.strip().decode("ascii")
+        if got != accept:
+            raise ProtocolError(f"bad Sec-WebSocket-Accept: {got!r}")
+
+        data = bytearray(rest)
+        closed = False
+        while True:
+            decoded = decode_frame(bytes(data))
+            if decoded is None:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return
+                data += chunk
+                continue
+            frame, consumed = decoded
+            del data[:consumed]
+            if frame.opcode == OP_PING:
+                sock.sendall(encode_frame(OP_PONG, frame.payload, mask=True))
+                continue
+            if frame.opcode == OP_CLOSE:
+                if not closed:
+                    sock.sendall(encode_frame(OP_CLOSE, encode_close(),
+                                              mask=True))
+                return
+            if frame.opcode != OP_TEXT:
+                continue
+            text = frame.payload.decode("utf-8")
+            parsed = json.loads(text)
+            if isinstance(parsed, dict) and "event" in parsed:
+                yield "event", parsed
+                if parsed["event"] == "end":
+                    sock.sendall(encode_frame(OP_CLOSE, encode_close(),
+                                              mask=True))
+                    closed = True
+            else:
+                yield "record", text
+
+    @staticmethod
+    def _read_until(sock: socket.socket, marker: bytes) -> bytes:
+        buf = bytearray()
+        while marker not in buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ProtocolError("connection closed during handshake")
+            buf += chunk
+        return bytes(buf)

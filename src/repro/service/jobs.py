@@ -1,0 +1,567 @@
+"""The durable job table: validation, persistence, workers, recovery.
+
+Every job owns a directory under ``<state_dir>/jobs/<id>/``::
+
+    job.json     atomically-replaced control record (state machine)
+    store/       per-job CampaignStore / ExplorationStore (kill-safe)
+    result.json  final payload, written once by the worker
+    error.json   named failure, written by the worker on error
+
+``job.json`` is the *only* file the server mutates; the worker process
+writes only the store and the result/error files.  That split means a
+SIGKILLed server loses nothing: on restart :meth:`JobManager.recover`
+re-reads every ``job.json``, demotes orphaned ``running`` jobs back to
+``queued``, and the re-spawned worker resumes from the store —
+completed units are skipped by the store's ``completed_index`` exactly
+as ``repro campaign --resume`` does, so nothing is recomputed.
+
+Workers run the job in *slices* (``max_new_trials`` /
+``max_expansions``), mirroring the fabric's drain semantics from PR 7:
+the first SIGTERM lets the current slice finish and exits with
+:data:`EXIT_RELEASED` (job goes back to ``queued``); a second SIGTERM
+exits immediately — the stores are kill-safe either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import secrets
+import signal
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..registry.scenario import ScenarioSpec
+from ..statespace.expand import AGENT_FILTERS, MOVESETS
+from ..testing.faults import resolve_fs
+from .quotas import QuotaPolicy
+
+__all__ = [
+    "EXIT_DONE",
+    "EXIT_FAILED",
+    "EXIT_RELEASED",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "Job",
+    "JobManager",
+    "JobRejected",
+    "JobRequest",
+    "TERMINAL_STATES",
+    "job_worker_main",
+    "parse_job_request",
+]
+
+JOB_KINDS = ("trial", "campaign", "explore")
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: worker exit codes — the manager's reaper maps them to job states
+EXIT_DONE = 0
+EXIT_FAILED = 1
+#: graceful drain: the job is intact and resumable, put it back in queue
+EXIT_RELEASED = 3
+
+#: slice sizes for the worker's drain-aware loops
+TRIAL_SLICE = 8
+EXPLORE_SLICE = 512
+
+DEFAULT_MAX_STATES = 200_000
+
+
+class JobRejected(ValueError):
+    """A submission the service refuses, with its HTTP rendering."""
+
+    def __init__(self, status: int, code: str, detail: str,
+                 retry_after: Optional[int] = None) -> None:
+        super().__init__(f"{code}: {detail}")
+        self.status = status
+        self.code = code
+        self.detail = detail
+        self.retry_after = retry_after
+
+
+def _bad(code: str, detail: str, status: int = 400) -> JobRejected:
+    return JobRejected(status, code, detail)
+
+
+def _require_int(payload: Mapping, key: str, default: Optional[int],
+                 minimum: int = 0) -> int:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _bad("bad-int", f"{key!r} must be an integer, got {value!r}")
+    if value < minimum:
+        raise _bad("bad-int", f"{key!r} must be >= {minimum}, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A validated submission, canonical enough to persist and re-run."""
+
+    kind: str
+    specs: Tuple[ScenarioSpec, ...]
+    n_values: Tuple[int, ...]
+    trials: int = 1
+    seed: int = 0
+    moves: str = "best"
+    agent_filter: str = "all"
+    max_states: int = DEFAULT_MAX_STATES
+
+    def payload(self) -> dict:
+        """The JSON form stored in ``job.json`` (round-trips via
+        :func:`parse_job_request`)."""
+        out = {
+            "kind": self.kind,
+            "specs": [spec.to_json() for spec in self.specs],
+            "n_values": list(self.n_values),
+            "trials": self.trials,
+            "seed": self.seed,
+        }
+        if self.kind == "explore":
+            out.update(moves=self.moves, agent_filter=self.agent_filter,
+                       max_states=self.max_states)
+        return out
+
+    @property
+    def total_units(self) -> int:
+        """Planned work units (trials for campaigns, 0 = open for explore)."""
+        if self.kind == "explore":
+            return 0
+        return len(self.specs) * len(self.n_values) * self.trials
+
+
+def parse_job_request(payload: object,
+                      quota: Optional[QuotaPolicy] = None) -> JobRequest:
+    """Validate a ``POST /jobs`` body into a :class:`JobRequest`.
+
+    Raises :class:`JobRejected` with a named code: ``bad-payload`` /
+    ``bad-kind`` / ``bad-spec`` / ``bad-int`` / ``bad-moves`` /
+    ``bad-agent-filter`` (400 or 422), or ``limit-exceeded`` (422) when
+    a ``quota`` is given and the spec busts a per-job cap.
+    """
+    if not isinstance(payload, Mapping):
+        raise _bad("bad-payload", "request body must be a JSON object")
+    kind = payload.get("kind", "trial")
+    if kind not in JOB_KINDS:
+        raise _bad("bad-kind", f"kind must be one of {JOB_KINDS}, got {kind!r}")
+
+    raw_specs = payload.get("specs")
+    if raw_specs is None:
+        single = payload.get("spec")
+        if single is None:
+            raise _bad("bad-payload", "pass 'spec' (object) or 'specs' (list)")
+        raw_specs = [single]
+    if not isinstance(raw_specs, list) or not raw_specs:
+        raise _bad("bad-payload", "'specs' must be a non-empty list")
+    if kind != "campaign" and len(raw_specs) != 1:
+        raise _bad("bad-payload", f"{kind!r} jobs take exactly one spec")
+    specs = []
+    for entry in raw_specs:
+        if not isinstance(entry, Mapping):
+            raise _bad("bad-spec", f"spec must be an object, got {entry!r}", 422)
+        try:
+            specs.append(ScenarioSpec.from_json(entry))
+        except ValueError as exc:
+            raise _bad("bad-spec", str(exc), 422) from exc
+
+    raw_ns = payload.get("n_values")
+    if raw_ns is None:
+        raw_ns = [_require_int(payload, "n", None, minimum=2)]
+    if not isinstance(raw_ns, list) or not raw_ns:
+        raise _bad("bad-int", "'n_values' must be a non-empty list")
+    n_values = tuple(
+        _require_int({"n": v}, "n", None, minimum=2) for v in raw_ns)
+    if kind in ("trial", "explore") and len(n_values) != 1:
+        raise _bad("bad-int", f"{kind!r} jobs take exactly one n")
+
+    trials = _require_int(payload, "trials", 1, minimum=1)
+    seed = _require_int(payload, "seed", 0)
+
+    moves = payload.get("moves", "best")
+    if moves not in MOVESETS:
+        raise _bad("bad-moves", f"moves must be one of {MOVESETS}, got {moves!r}")
+    agent_filter = payload.get("agent_filter", "all")
+    if agent_filter not in AGENT_FILTERS:
+        raise _bad("bad-agent-filter",
+                   f"agent_filter must be one of {AGENT_FILTERS}, "
+                   f"got {agent_filter!r}")
+    max_states = _require_int(payload, "max_states", DEFAULT_MAX_STATES,
+                              minimum=1)
+
+    request = JobRequest(kind=kind, specs=tuple(specs), n_values=n_values,
+                         trials=trials, seed=seed, moves=moves,
+                         agent_filter=agent_filter, max_states=max_states)
+    if quota is not None:
+        rejection = quota.check_spec_limits(
+            n_values=n_values, trials=trials, max_states=max_states)
+        if rejection is not None:
+            status, code, detail, retry = rejection
+            raise JobRejected(status, code, detail, retry)
+    return request
+
+
+# --------------------------------------------------------------------------
+# The job record
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Job:
+    """One job's control record — the in-memory mirror of ``job.json``."""
+
+    id: str
+    kind: str
+    state: str
+    client: str
+    seq: int
+    request: dict
+    error: Optional[dict] = None
+
+    def view(self, progress: Optional[dict] = None) -> dict:
+        """The JSON the API returns for this job."""
+        out = {"id": self.id, "kind": self.kind, "state": self.state,
+               "client": self.client, "request": self.request,
+               "error": self.error}
+        if progress is not None:
+            out["progress"] = progress
+        return out
+
+    def to_json(self) -> dict:
+        return {"id": self.id, "kind": self.kind, "state": self.state,
+                "client": self.client, "seq": self.seq,
+                "request": self.request, "error": self.error}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Job":
+        return cls(id=payload["id"], kind=payload["kind"],
+                   state=payload["state"], client=payload.get("client", ""),
+                   seq=int(payload.get("seq", 0)),
+                   request=payload.get("request", {}),
+                   error=payload.get("error"))
+
+
+# --------------------------------------------------------------------------
+# The worker process
+# --------------------------------------------------------------------------
+
+_drain_asked = 0
+
+
+def _worker_sigterm(signum, frame) -> None:
+    """First SIGTERM: finish the current slice.  Second: exit now —
+    the stores are kill-safe and the job stays resumable."""
+    global _drain_asked
+    _drain_asked += 1
+    if _drain_asked > 1:
+        os._exit(EXIT_RELEASED)
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _grid_for(request: JobRequest, job_id: str):
+    from ..experiments.config import FigureSpec
+
+    return FigureSpec(
+        figure=f"job-{job_id}", title=f"service job {job_id}",
+        configs=tuple(request.specs), n_values=request.n_values,
+        trials=request.trials)
+
+
+def _run_campaign_job(request: JobRequest, job_id: str, store_dir: Path) -> dict:
+    """Drain the campaign in slices; ``None`` return means released."""
+    from ..experiments.campaign import aggregate_payload, run_campaign
+
+    grid = _grid_for(request, job_id)
+    while True:
+        run = run_campaign(grid, store_dir, seed=request.seed, n_jobs=1,
+                           max_new_trials=TRIAL_SLICE, aggregate=False)
+        if run.remaining <= 0:
+            break
+        if _drain_asked:
+            return None
+    final = run_campaign(grid, store_dir, seed=request.seed, n_jobs=1,
+                         max_new_trials=0, aggregate=True)
+    return {"kind": request.kind, "total": final.total,
+            "aggregate": aggregate_payload(final.result)}
+
+
+def _run_explore_job(request: JobRequest, store_dir: Path) -> dict:
+    from ..registry import REGISTRY
+    from ..statespace.explore import explore
+    from ..statespace.store import ExplorationStore, write_report
+
+    spec = request.specs[0]
+    n = request.n_values[0]
+    game = REGISTRY.build("game", spec.game, spec.params_for("game"), n=n)
+    store = ExplorationStore(store_dir)
+    while True:
+        report = explore(game, n=n, moves=request.moves,
+                         agent_filter=request.agent_filter,
+                         max_states=request.max_states, store=store,
+                         max_expansions=EXPLORE_SLICE, game_name=spec.game)
+        if report.complete:
+            write_report(store, report)
+            return {"kind": "explore", **report.to_json()}
+        if report.truncated:
+            raise RuntimeError(
+                f"exploration truncated at max_states={request.max_states}")
+        if _drain_asked:
+            return None
+
+
+def job_worker_main(job_dir: str) -> int:
+    """Entry point of one job worker process."""
+    global _drain_asked
+    _drain_asked = 0
+    signal.signal(signal.SIGTERM, _worker_sigterm)
+    root = Path(job_dir)
+    try:
+        job = Job.from_json(json.loads((root / "job.json").read_text()))
+        request = parse_job_request(job.request)
+        store_dir = root / "store"
+        if request.kind == "explore":
+            result = _run_explore_job(request, store_dir)
+        else:
+            result = _run_campaign_job(request, job.id, store_dir)
+        if result is None:
+            return EXIT_RELEASED
+        _write_json(root / "result.json", result)
+        return EXIT_DONE
+    except BaseException as exc:  # noqa: BLE001 — worker must report, not die
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            return EXIT_RELEASED
+        try:
+            _write_json(root / "error.json", {
+                "error": "worker-error",
+                "detail": "".join(
+                    traceback.format_exception_only(type(exc), exc)).strip(),
+            })
+        except OSError:
+            pass
+        return EXIT_FAILED
+
+
+def _worker_entry(job_dir: str) -> None:
+    sys.exit(job_worker_main(job_dir))
+
+
+# --------------------------------------------------------------------------
+# The manager
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class JobManager:
+    """Owns the job table and the worker pool.
+
+    Runs inside the service's event loop (single-threaded — no locks);
+    workers are separate processes so cancel/drain can signal them and
+    a crash cannot corrupt the server.  ``workers=0`` disables
+    execution entirely (admission-only mode, used by the load bench).
+    """
+
+    state_dir: Path
+    workers: int = 2
+    poll_interval: float = 0.05
+    kill_grace: float = 5.0
+    fs: object = None
+
+    def __post_init__(self) -> None:
+        self.state_dir = Path(self.state_dir)
+        self.fs = resolve_fs(self.fs)
+        self.jobs_dir = self.state_dir / "jobs"
+        self.jobs: Dict[str, Job] = {}
+        self.procs: Dict[str, multiprocessing.Process] = {}
+        self._seq = 0
+        self._mp = multiprocessing.get_context()
+
+    # -- persistence -------------------------------------------------------
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def store_dir(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "store"
+
+    def _persist(self, job: Job) -> None:
+        path = self.job_dir(job.id) / "job.json"
+        tmp = path.with_suffix(".tmp")
+        self.fs.write_text(tmp, json.dumps(job.to_json(), sort_keys=True) + "\n")
+        self.fs.replace(tmp, path)
+
+    def recover(self) -> dict:
+        """Rebuild the job table from disk; orphaned ``running`` jobs
+        (their worker died with the old server) go back to ``queued``."""
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        requeued = 0
+        for path in sorted(self.jobs_dir.glob("*/job.json")):
+            try:
+                job = Job.from_json(json.loads(path.read_text()))
+            except (OSError, ValueError, KeyError):
+                continue  # torn control record: job dir is inert, skip it
+            if job.state == "running":
+                job.state = "queued"
+                self._persist(job)
+                requeued += 1
+            self.jobs[job.id] = job
+            self._seq = max(self._seq, job.seq + 1)
+        return {"jobs": len(self.jobs), "requeued": requeued}
+
+    # -- queries -----------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def active_counts(self) -> Tuple[int, Dict[str, int]]:
+        """(queued jobs, active jobs per client) — the quota inputs."""
+        queued = 0
+        per_client: Dict[str, int] = {}
+        for job in self.jobs.values():
+            if job.state == "queued":
+                queued += 1
+            if job.state in ("queued", "running"):
+                per_client[job.client] = per_client.get(job.client, 0) + 1
+        return queued, per_client
+
+    def progress(self, job: Job) -> dict:
+        """Cheap progress counters read straight off the job's store."""
+        if job.kind == "explore":
+            from ..statespace.store import ExplorationStore
+
+            status = ExplorationStore(self.store_dir(job.id)).status()
+            return {"expanded": status["expanded"],
+                    "discovered": status["discovered"],
+                    "pending": status["pending"]}
+        from ..experiments.campaign import CampaignStore
+
+        store = CampaignStore(self.store_dir(job.id))
+        trials = int(job.request.get("trials", 1))
+        total = (len(job.request.get("specs", ())) *
+                 len(job.request.get("n_values", ())) * trials)
+        done = sum(
+            len({t for t in idxs if 0 <= t < trials})
+            for idxs in store.completed_index(store.iter_all_records()).values()
+        )
+        return {"done": done, "total": total}
+
+    def result_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "result.json"
+
+    # -- submission / cancel ----------------------------------------------
+    def submit(self, payload: object, client: str,
+               quota: Optional[QuotaPolicy] = None) -> Job:
+        """Validate, apply quotas, persist, and enqueue one job."""
+        request = parse_job_request(payload, quota)
+        if quota is not None:
+            queued, per_client = self.active_counts()
+            rejection = quota.admit(queued=queued, per_client=per_client,
+                                    client=client)
+            if rejection is not None:
+                status, code, detail, retry = rejection
+                raise JobRejected(status, code, detail, retry)
+        seq = self._seq
+        self._seq += 1
+        job_id = f"job-{seq:06d}-{secrets.token_hex(3)}"
+        job = Job(id=job_id, kind=request.kind, state="queued", client=client,
+                  seq=seq, request=request.payload())
+        self.job_dir(job_id).mkdir(parents=True, exist_ok=True)
+        self._persist(job)
+        self.jobs[job_id] = job
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job; terminal jobs are returned unchanged."""
+        job = self.jobs[job_id]
+        if job.state in TERMINAL_STATES:
+            return job
+        job.state = "cancelled"
+        self._persist(job)
+        proc = self.procs.get(job_id)
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+        return job
+
+    # -- scheduling --------------------------------------------------------
+    def _spawn_ready(self) -> None:
+        free = self.workers - len(self.procs)
+        if free <= 0:
+            return
+        queued = sorted(
+            (j for j in self.jobs.values() if j.state == "queued"),
+            key=lambda j: j.seq)
+        for job in queued[:free]:
+            job.state = "running"
+            self._persist(job)
+            proc = self._mp.Process(
+                target=_worker_entry, args=(str(self.job_dir(job.id)),),
+                daemon=True)
+            proc.start()
+            self.procs[job.id] = proc
+
+    def _reap(self) -> None:
+        for job_id in list(self.procs):
+            proc = self.procs[job_id]
+            if proc.is_alive():
+                continue
+            del self.procs[job_id]
+            proc.join()
+            job = self.jobs[job_id]
+            if job.state == "cancelled":
+                continue
+            code = proc.exitcode
+            if code == EXIT_DONE and self.result_path(job_id).exists():
+                job.state = "done"
+            elif code == EXIT_RELEASED or code in (-signal.SIGTERM,
+                                                   -signal.SIGKILL):
+                job.state = "queued"  # drained or killed: intact, re-runnable
+            else:
+                job.state = "failed"
+                job.error = self._read_error(job_id, code)
+            self._persist(job)
+
+    def _read_error(self, job_id: str, code: Optional[int]) -> dict:
+        path = self.job_dir(job_id) / "error.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return {"error": "worker-exit",
+                    "detail": f"worker exited with code {code}"}
+
+    async def run(self, stop: asyncio.Event) -> None:
+        """The scheduler loop: spawn ready jobs, reap finished workers."""
+        while not stop.is_set():
+            self._reap()
+            self._spawn_ready()
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=self.poll_interval)
+            except asyncio.TimeoutError:
+                pass
+
+    async def drain(self) -> None:
+        """PR 7 drain semantics: SIGTERM each worker (finish the slice),
+        escalate after ``kill_grace``, requeue whatever released."""
+        for proc in self.procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        deadline = time.monotonic() + self.kill_grace
+        while self.procs and time.monotonic() < deadline:
+            self._reap()
+            if not self.procs:
+                break
+            await asyncio.sleep(self.poll_interval)
+        for proc in self.procs.values():  # stragglers: second TERM, then KILL
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=0.5)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=2.0)
+        self._reap()

@@ -1,0 +1,472 @@
+"""HTTP/1.1 + RFC 6455 websocket primitives on asyncio streams.
+
+Stdlib-only.  The websocket frame codec (:func:`encode_frame` /
+:func:`decode_frame`) is sans-io — pure bytes in, frames out — so the
+asyncio server, the blocking client, the codec benchmark, and the unit
+tests all exercise the same code.
+
+Scope is deliberately minimal: one request per connection
+(``Connection: close``) except for websocket upgrades, Content-Length
+bodies only (no chunked transfer), and only the frame features the
+service needs — text/binary/continuation frames, masking, ping/pong,
+and close codes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "CLOSE_GOING_AWAY",
+    "CLOSE_INTERNAL",
+    "CLOSE_NORMAL",
+    "CLOSE_POLICY",
+    "CLOSE_PROTOCOL_ERROR",
+    "CLOSE_TOO_BIG",
+    "Frame",
+    "HTTPRequest",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_CONT",
+    "OP_PING",
+    "OP_PONG",
+    "OP_TEXT",
+    "PayloadTooLarge",
+    "ProtocolError",
+    "WebSocket",
+    "apply_mask",
+    "decode_close",
+    "decode_frame",
+    "encode_close",
+    "encode_frame",
+    "error_response",
+    "handshake_response",
+    "json_response",
+    "read_request",
+    "response_bytes",
+    "websocket_accept_key",
+]
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+# --------------------------------------------------------------------------
+# HTTP/1.1
+# --------------------------------------------------------------------------
+
+MAX_HEADER_BYTES = 32 * 1024
+MAX_HEADER_COUNT = 100
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    426: "Upgrade Required",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed HTTP request or websocket frame."""
+
+
+class PayloadTooLarge(ProtocolError):
+    """Request body exceeds the configured limit (maps to HTTP 413)."""
+
+
+@dataclass
+class HTTPRequest:
+    """A parsed request: method, split target, lowercased headers, body."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            "websocket" in self.header("upgrade").lower()
+            and "upgrade" in self.header("connection").lower()
+        )
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int = 1 << 20
+) -> Optional[HTTPRequest]:
+    """Read one HTTP/1.1 request; ``None`` on a cleanly closed socket.
+
+    Raises :class:`ProtocolError` on malformed input and
+    :class:`PayloadTooLarge` when Content-Length exceeds ``max_body``
+    (the caller answers 400 / 413 respectively).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError("request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"bad request line: {lines[0]!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise ProtocolError("too many headers")
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"bad header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    path = unquote(split.path) or "/"
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError as exc:
+            raise ProtocolError(f"bad content-length: {raw_length!r}") from exc
+        if length < 0:
+            raise ProtocolError(f"bad content-length: {raw_length!r}")
+        if length > max_body:
+            raise PayloadTooLarge(f"body of {length} bytes exceeds {max_body}")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise ProtocolError("truncated request body") from exc
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError("chunked transfer encoding is not supported")
+
+    return HTTPRequest(method=method, target=target, path=path,
+                       query=query, headers=headers, body=body)
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """Serialize a full ``Connection: close`` HTTP/1.1 response."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    base = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    if headers:
+        base.update(headers)
+    lines.extend(f"{name}: {value}" for name, value in base.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int, payload: object, *, headers: Optional[Mapping[str, str]] = None
+) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return response_bytes(status, body, headers=headers)
+
+
+def error_response(
+    status: int,
+    error: str,
+    detail: str = "",
+    *,
+    headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """A named JSON error body: ``{"error": <code>, "detail": <text>}``."""
+    return json_response(status, {"error": error, "detail": detail},
+                         headers=headers)
+
+
+# --------------------------------------------------------------------------
+# RFC 6455 websocket: handshake + sans-io frame codec
+# --------------------------------------------------------------------------
+
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+_DATA_OPCODES = (OP_CONT, OP_TEXT, OP_BINARY)
+_CONTROL_OPCODES = (OP_CLOSE, OP_PING, OP_PONG)
+
+CLOSE_NORMAL = 1000
+CLOSE_GOING_AWAY = 1001
+CLOSE_PROTOCOL_ERROR = 1002
+CLOSE_POLICY = 1008
+CLOSE_TOO_BIG = 1009
+CLOSE_INTERNAL = 1011
+
+
+def websocket_accept_key(client_key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a client's ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((client_key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def handshake_response(client_key: str) -> bytes:
+    """The 101 Switching Protocols reply completing the upgrade."""
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {websocket_accept_key(client_key)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded websocket frame."""
+
+    fin: bool
+    opcode: int
+    payload: bytes
+
+    @property
+    def is_control(self) -> bool:
+        return self.opcode in _CONTROL_OPCODES
+
+
+def encode_frame(
+    opcode: int,
+    payload: bytes = b"",
+    *,
+    fin: bool = True,
+    mask: bool = False,
+    mask_key: Optional[bytes] = None,
+) -> bytes:
+    """Serialize one frame.  Clients must mask; servers must not."""
+    if opcode in _CONTROL_OPCODES and (len(payload) > 125 or not fin):
+        raise ProtocolError("control frames must be final and <= 125 bytes")
+    head = bytearray([(0x80 if fin else 0x00) | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length <= 125:
+        head.append(mask_bit | length)
+    elif length <= 0xFFFF:
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", length)
+    if not mask:
+        return bytes(head) + payload
+    key = mask_key if mask_key is not None else os.urandom(4)
+    if len(key) != 4:
+        raise ProtocolError("mask key must be 4 bytes")
+    return bytes(head) + key + apply_mask(payload, key)
+
+
+def apply_mask(payload: bytes, key: bytes) -> bytes:
+    """XOR-mask ``payload`` with the 4-byte ``key`` (involution)."""
+    if not payload:
+        return b""
+    repeated = key * (len(payload) // 4 + 1)
+    return (int.from_bytes(payload, "big")
+            ^ int.from_bytes(repeated[: len(payload)], "big")
+            ).to_bytes(len(payload), "big")
+
+
+def decode_frame(buf: bytes) -> Optional[Tuple[Frame, int]]:
+    """Decode one frame from ``buf``; ``None`` if more bytes are needed.
+
+    Returns ``(frame, consumed)``.  Raises :class:`ProtocolError` on
+    reserved bits, bad opcodes, or oversized/fragmented control frames.
+    """
+    if len(buf) < 2:
+        return None
+    b0, b1 = buf[0], buf[1]
+    fin = bool(b0 & 0x80)
+    if b0 & 0x70:
+        raise ProtocolError("reserved bits set")
+    opcode = b0 & 0x0F
+    if opcode not in _DATA_OPCODES and opcode not in _CONTROL_OPCODES:
+        raise ProtocolError(f"bad opcode 0x{opcode:x}")
+    masked = bool(b1 & 0x80)
+    length = b1 & 0x7F
+    offset = 2
+    if opcode in _CONTROL_OPCODES and (length > 125 or not fin):
+        raise ProtocolError("control frames must be final and <= 125 bytes")
+    if length == 126:
+        if len(buf) < offset + 2:
+            return None
+        length = struct.unpack_from(">H", buf, offset)[0]
+        offset += 2
+    elif length == 127:
+        if len(buf) < offset + 8:
+            return None
+        length = struct.unpack_from(">Q", buf, offset)[0]
+        offset += 8
+    key = b""
+    if masked:
+        if len(buf) < offset + 4:
+            return None
+        key = buf[offset:offset + 4]
+        offset += 4
+    if len(buf) < offset + length:
+        return None
+    payload = buf[offset:offset + length]
+    if masked:
+        payload = apply_mask(payload, key)
+    return Frame(fin=fin, opcode=opcode, payload=payload), offset + length
+
+
+def encode_close(code: int = CLOSE_NORMAL, reason: str = "") -> bytes:
+    """The payload of a close frame: big-endian code + utf-8 reason."""
+    return struct.pack(">H", code) + reason.encode("utf-8")
+
+
+def decode_close(payload: bytes) -> Tuple[int, str]:
+    """Parse a close frame payload; empty payload means no code (1005)."""
+    if not payload:
+        return 1005, ""
+    if len(payload) < 2:
+        raise ProtocolError("close payload of 1 byte")
+    code = struct.unpack(">H", payload[:2])[0]
+    return code, payload[2:].decode("utf-8", errors="replace")
+
+
+# --------------------------------------------------------------------------
+# Asyncio websocket endpoint (used server-side after the handshake)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class WebSocket:
+    """A websocket endpoint over asyncio streams.
+
+    Servers send unmasked frames (``mask_frames=False``); a client
+    endpoint would flip it.  :meth:`recv` assembles fragmented
+    messages, answers pings, and returns ``None`` once the peer closes
+    (echoing the close frame exactly once).
+    """
+
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    mask_frames: bool = False
+    max_message: int = 1 << 20
+    _buf: bytearray = field(default_factory=bytearray, repr=False)
+    _closed: bool = field(default=False, repr=False)
+    close_code: Optional[int] = None
+
+    async def _read_frame(self) -> Optional[Frame]:
+        while True:
+            decoded = decode_frame(bytes(self._buf))
+            if decoded is not None:
+                frame, consumed = decoded
+                del self._buf[:consumed]
+                return frame
+            chunk = await self.reader.read(65536)
+            if not chunk:
+                return None
+            self._buf += chunk
+
+    async def recv(self) -> Optional[Tuple[int, bytes]]:
+        """Next complete data message as ``(opcode, payload)``.
+
+        ``None`` once the connection is closed (by close frame or EOF).
+        """
+        opcode: Optional[int] = None
+        parts: list = []
+        size = 0
+        while True:
+            frame = await self._read_frame()
+            if frame is None:
+                return None
+            if frame.opcode == OP_PING:
+                await self.send_frame(OP_PONG, frame.payload)
+                continue
+            if frame.opcode == OP_PONG:
+                continue
+            if frame.opcode == OP_CLOSE:
+                self.close_code = decode_close(frame.payload)[0]
+                await self.close(echo_payload=frame.payload)
+                return None
+            if frame.opcode == OP_CONT:
+                if opcode is None:
+                    raise ProtocolError("continuation without a start frame")
+            else:
+                if opcode is not None:
+                    raise ProtocolError("interleaved data message")
+                opcode = frame.opcode
+            parts.append(frame.payload)
+            size += len(frame.payload)
+            if size > self.max_message:
+                await self.close(CLOSE_TOO_BIG)
+                raise ProtocolError(f"message exceeds {self.max_message} bytes")
+            if frame.fin:
+                return opcode, b"".join(parts)
+
+    async def send_frame(self, opcode: int, payload: bytes = b"") -> None:
+        if self._closed and opcode != OP_CLOSE:
+            return
+        self.writer.write(encode_frame(opcode, payload, mask=self.mask_frames))
+        await self.writer.drain()
+
+    async def send_text(self, text: str) -> None:
+        await self.send_frame(OP_TEXT, text.encode("utf-8"))
+
+    async def send_json(self, payload: object) -> None:
+        await self.send_text(json.dumps(payload, sort_keys=True))
+
+    async def ping(self, payload: bytes = b"") -> None:
+        await self.send_frame(OP_PING, payload)
+
+    async def close(
+        self,
+        code: int = CLOSE_NORMAL,
+        reason: str = "",
+        *,
+        echo_payload: Optional[bytes] = None,
+    ) -> None:
+        """Send a close frame once; safe to call repeatedly."""
+        if self._closed:
+            return
+        self._closed = True
+        payload = echo_payload if echo_payload is not None \
+            else encode_close(code, reason)
+        try:
+            self.writer.write(
+                encode_frame(OP_CLOSE, payload, mask=self.mask_frames))
+            await self.writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass

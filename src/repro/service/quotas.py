@@ -1,0 +1,77 @@
+"""Admission control for the job service.
+
+Three tiers of rejection, each with a named JSON error body:
+
+- global saturation (queued jobs at ``max_queued``) → **503** with a
+  ``Retry-After`` header — the fleet is busy, come back later;
+- a single client token holding ``max_jobs_per_client`` active jobs →
+  **429** with ``Retry-After`` — fair-share throttling;
+- a spec that is simply too big (``n``, ``trials``, ``max_states``
+  above the per-job caps) → **422** — retrying will not help, shrink
+  the spec.
+
+The policy is pure data + one :meth:`QuotaPolicy.admit` decision so the
+tests and the load bench can exercise it without a socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+#: (http status, error code, detail, retry_after or None)
+Rejection = Tuple[int, str, str, Optional[int]]
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Admission limits for one service instance."""
+
+    max_queued: int = 64
+    max_jobs_per_client: int = 8
+    max_n: int = 200
+    max_trials: int = 500
+    max_states: int = 200_000
+    retry_after: int = 5
+
+    def check_spec_limits(
+        self, *, n_values: Tuple[int, ...], trials: int, max_states: int
+    ) -> Optional[Rejection]:
+        """Per-spec size caps — 422, retrying is pointless."""
+        biggest = max(n_values)
+        if biggest > self.max_n:
+            return (422, "limit-exceeded",
+                    f"n={biggest} exceeds the per-job cap of {self.max_n}",
+                    None)
+        if trials > self.max_trials:
+            return (422, "limit-exceeded",
+                    f"trials={trials} exceeds the per-job cap of "
+                    f"{self.max_trials}", None)
+        if max_states > self.max_states:
+            return (422, "limit-exceeded",
+                    f"max_states={max_states} exceeds the per-job cap of "
+                    f"{self.max_states}", None)
+        return None
+
+    def admit(
+        self,
+        *,
+        queued: int,
+        per_client: Mapping[str, int],
+        client: str,
+    ) -> Optional[Rejection]:
+        """Admission decision for one submission; ``None`` means accept.
+
+        ``queued`` counts jobs waiting for a worker; ``per_client``
+        counts *active* (queued + running) jobs per client token.
+        """
+        if queued >= self.max_queued:
+            return (503, "saturated",
+                    f"{queued} jobs queued (cap {self.max_queued}); "
+                    "retry after the backlog drains", self.retry_after)
+        if per_client.get(client, 0) >= self.max_jobs_per_client:
+            return (429, "client-quota",
+                    f"client {client!r} already has "
+                    f"{per_client.get(client, 0)} active jobs "
+                    f"(cap {self.max_jobs_per_client})", self.retry_after)
+        return None

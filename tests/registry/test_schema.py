@@ -1,0 +1,195 @@
+"""The generated JSON Schema round-trips against the registry itself."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.registry import REGISTRY
+from repro.registry.scenario import ScenarioSpec
+from repro.registry.schema import (
+    AXES,
+    component_schema,
+    param_schema,
+    scenario_json_schema,
+    validate_payload,
+)
+
+
+def sample_params(comp, *, required_only: bool = False) -> dict:
+    return {p.name: p.sample_value() for p in comp.params
+            if p.required or not required_only}
+
+
+#: the axis defaults ``ScenarioSpec.from_json`` fills in when omitted
+_DEFAULT_AXIS = {"policy": "maxcost", "dynamics": "sequential",
+                 "topology": "budget"}
+
+
+def base_payload() -> dict:
+    """A valid payload to graft one axis under test onto.
+
+    Every axis is spelled out because ``from_json`` fills defaults for
+    omitted ones, and a default component (topology ``budget``) may
+    itself carry required parameters.
+    """
+    payload = {}
+    for axis in AXES:
+        name = _DEFAULT_AXIS.get(axis) or REGISTRY.names(axis)[0]
+        comp = REGISTRY.get(axis, name)
+        payload[axis] = {"name": name,
+                         "params": sample_params(comp, required_only=True)}
+    return payload
+
+
+def all_components():
+    for axis in AXES:
+        for name in REGISTRY.names(axis):
+            yield axis, REGISTRY.get(axis, name)
+
+
+class TestEveryComponentRoundTrips:
+    """The satellite contract: for every registered component, its
+    sample parameters validate against the schema AND the same payload
+    is accepted by ``ScenarioSpec.from_json`` — the schema can neither
+    over- nor under-promise what the registry accepts."""
+
+    @pytest.mark.parametrize("axis,comp", [
+        pytest.param(a, c, id=f"{a}-{c.name}") for a, c in all_components()])
+    def test_sample_params_validate_and_parse(self, axis, comp):
+        payload = base_payload()
+        payload[axis] = {"name": comp.name, "params": sample_params(comp)}
+        assert validate_payload(payload) == []
+        spec = ScenarioSpec.from_json(payload)
+        assert getattr(spec, axis) == comp.name
+
+    @pytest.mark.parametrize("axis,comp", [
+        pytest.param(a, c, id=f"{a}-{c.name}") for a, c in all_components()])
+    def test_required_only_params_validate_and_parse(self, axis, comp):
+        payload = base_payload()
+        payload[axis] = {"name": comp.name,
+                         "params": sample_params(comp, required_only=True)}
+        assert validate_payload(payload) == []
+        ScenarioSpec.from_json(payload)
+
+    @pytest.mark.parametrize("axis,comp", [
+        pytest.param(a, c, id=f"{a}-{c.name}")
+        for a, c in all_components()
+        if not any(p.required for p in c.params)])
+    def test_bare_name_form_validates_and_parses(self, axis, comp):
+        payload = base_payload()
+        payload[axis] = comp.name
+        assert validate_payload(payload) == []
+        ScenarioSpec.from_json(payload)
+
+    def test_canonical_to_json_of_default_spec_validates(self):
+        payload = base_payload()
+        spec = ScenarioSpec.from_json(payload)
+        assert validate_payload(spec.to_json()) == []
+
+    def test_metric_enum_matches_registry(self):
+        schema = scenario_json_schema()
+        assert (schema["properties"]["metrics"]["items"]["enum"]
+                == REGISTRY.names("metric"))
+
+
+class TestSchemaShape:
+    def test_axis_names_and_required(self):
+        schema = scenario_json_schema()
+        assert schema["required"] == ["game"]
+        assert schema["additionalProperties"] is False
+        for axis in AXES:
+            branches = schema["properties"][axis]["anyOf"]
+            assert branches[0]["enum"] == REGISTRY.names(axis)
+            assert len(branches) == 1 + len(REGISTRY.names(axis))
+
+    def test_param_schema_choices_become_enum(self):
+        comp = REGISTRY.get("game", "sg")
+        mode = comp.param("mode")
+        schema = param_schema(mode)
+        assert set(mode.choices) <= set(schema["enum"])
+
+    def test_optional_params_are_nullable_with_default(self):
+        for _, comp in all_components():
+            schema = component_schema(comp)
+            params = schema["properties"]["params"]["properties"]
+            for p in comp.params:
+                if p.required:
+                    continue
+                sub = params[p.name]
+                assert sub.get("default") == p.default
+                nullable = ("null" in sub.get("type", ())
+                            or None in sub.get("enum", ()))
+                assert nullable, (comp.name, p.name)
+
+    def test_schema_is_json_serializable(self):
+        json.dumps(scenario_json_schema())
+
+
+class TestValidatorNegatives:
+    def test_unknown_game_is_reported(self):
+        errors = validate_payload({"game": "tictactoe"})
+        assert errors and any("game" in e for e in errors)
+
+    def test_missing_required_param_is_reported(self):
+        errors = validate_payload({"game": {"name": "sg", "params": {}}})
+        assert any("mode" in e for e in errors)
+
+    def test_unknown_param_is_reported(self):
+        errors = validate_payload(
+            {"game": {"name": "sg", "params": {"mode": "sum", "zoom": 1}}})
+        assert any("zoom" in e for e in errors)
+
+    def test_bad_choice_value_is_reported(self):
+        errors = validate_payload(
+            {"game": {"name": "sg", "params": {"mode": "loud"}}})
+        assert any("loud" in e for e in errors)
+
+    def test_unknown_top_level_field_is_reported(self):
+        errors = validate_payload({**base_payload(), "surprise": 1})
+        assert any("surprise" in e for e in errors)
+
+    def test_bad_metric_is_reported(self):
+        errors = validate_payload({**base_payload(), "metrics": ["vibes"]})
+        assert any("vibes" in e for e in errors)
+
+    def test_wrong_scenario_version_is_reported(self):
+        errors = validate_payload({**base_payload(), "scenario_version": 99})
+        assert any("scenario_version" in e for e in errors)
+
+    def test_error_paths_point_into_the_payload(self):
+        errors = validate_payload(
+            {"game": {"name": "sg", "params": {"mode": 7}}})
+        assert any(e.startswith("$.game") for e in errors)
+
+
+class TestMiniValidatorKeywords:
+    def test_const_enum_and_types(self):
+        assert validate_payload(1, {"const": 1}) == []
+        assert validate_payload(2, {"const": 1})
+        assert validate_payload("a", {"enum": ["a", "b"]}) == []
+        assert validate_payload(True, {"type": "integer"})  # bool != int
+        assert validate_payload(1, {"type": ["integer", "null"]}) == []
+
+    def test_array_items(self):
+        schema = {"type": "array", "items": {"type": "string"}}
+        assert validate_payload(["a"], schema) == []
+        errors = validate_payload(["a", 3], schema)
+        assert any("[1]" in e for e in errors)
+
+    def test_anyof_reports_best_branch(self):
+        schema = {"anyOf": [{"enum": ["x"]},
+                            {"type": "object", "required": ["name"],
+                             "properties": {"name": {"type": "string"}}}]}
+        errors = validate_payload({"name": 3}, schema)
+        assert errors[0].endswith("no matching alternative")
+        assert any("name" in e for e in errors[1:])
+
+
+class TestSchemaCLI:
+    def test_scenarios_schema_flag_emits_the_schema(self, capsys):
+        assert main(["scenarios", "--schema"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out) == scenario_json_schema()

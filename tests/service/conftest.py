@@ -1,0 +1,37 @@
+"""Fixtures for the service suite: live servers on ephemeral ports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import QuotaPolicy, ServiceConfig, ServiceThread
+
+#: a small, fully-specified scenario every service test can submit
+SG_SPEC = {
+    "game": {"name": "sg", "params": {"mode": "sum"}},
+    "topology": {"name": "budget", "params": {"budget": 2}},
+}
+
+
+def trial_payload(n: int = 8, trials: int = 3, seed: int = 5, **extra) -> dict:
+    return {"kind": "trial", "spec": SG_SPEC, "n": n, "trials": trials,
+            "seed": seed, **extra}
+
+
+@pytest.fixture
+def service_factory(tmp_path):
+    """Start ServiceThread instances that are torn down after the test."""
+    started = []
+
+    def start(workers: int = 1, quota: QuotaPolicy = QuotaPolicy(),
+              state_dir=None, **kwargs) -> ServiceThread:
+        config = ServiceConfig(
+            state_dir=state_dir or tmp_path / f"svc{len(started)}",
+            workers=workers, quota=quota, **kwargs)
+        svc = ServiceThread(config).start()
+        started.append(svc)
+        return svc
+
+    yield start
+    for svc in started:
+        svc.stop()

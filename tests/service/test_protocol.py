@@ -1,0 +1,272 @@
+"""Unit tests for the HTTP parser and the RFC 6455 frame codec."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.protocol import (
+    CLOSE_NORMAL,
+    CLOSE_TOO_BIG,
+    OP_BINARY,
+    OP_CLOSE,
+    OP_CONT,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    Frame,
+    HTTPRequest,
+    PayloadTooLarge,
+    ProtocolError,
+    WebSocket,
+    apply_mask,
+    decode_close,
+    decode_frame,
+    encode_close,
+    encode_frame,
+    error_response,
+    handshake_response,
+    read_request,
+    response_bytes,
+    websocket_accept_key,
+)
+
+
+def parse(raw: bytes, max_body: int = 1 << 20) -> HTTPRequest:
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body=max_body)
+
+    return asyncio.run(go())
+
+
+class TestHTTP:
+    def test_parses_request_line_headers_and_body(self):
+        req = parse(b"POST /jobs?x=1&y=two HTTP/1.1\r\n"
+                    b"Host: h\r\nX-Client-Token: tok\r\n"
+                    b"Content-Length: 4\r\n\r\nbody")
+        assert req.method == "POST"
+        assert req.path == "/jobs"
+        assert req.query == {"x": "1", "y": "two"}
+        assert req.header("x-client-token") == "tok"
+        assert req.body == b"body"
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head_raises(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GET / HTTP/1.1\r\nHost")
+
+    def test_bad_request_line_raises(self):
+        with pytest.raises(ProtocolError):
+            parse(b"NONSENSE\r\n\r\n")
+
+    def test_bad_content_length_raises(self):
+        with pytest.raises(ProtocolError):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: frog\r\n\r\n")
+
+    def test_oversized_body_is_payload_too_large(self):
+        with pytest.raises(PayloadTooLarge):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100,
+                  max_body=10)
+
+    def test_websocket_upgrade_detection(self):
+        req = parse(b"GET /jobs/j/stream HTTP/1.1\r\n"
+                    b"Upgrade: websocket\r\nConnection: keep-alive, Upgrade\r\n"
+                    b"Sec-WebSocket-Key: abc\r\n\r\n")
+        assert req.wants_websocket
+        assert not parse(b"GET / HTTP/1.1\r\n\r\n").wants_websocket
+
+    def test_response_bytes_roundtrip_shape(self):
+        raw = response_bytes(200, b'{"ok": true}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 12" in head
+        assert body == b'{"ok": true}'
+
+    def test_error_response_named_body(self):
+        raw = error_response(429, "client-quota", "too many",
+                             headers={"Retry-After": "5"})
+        assert b"429" in raw.split(b"\r\n", 1)[0]
+        assert b"Retry-After: 5" in raw
+        assert b'"error": "client-quota"' in raw
+
+
+class TestAcceptKey:
+    def test_rfc6455_worked_example(self):
+        # the handshake example from RFC 6455 section 1.3
+        assert (websocket_accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+                == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=")
+
+    def test_handshake_response_carries_accept(self):
+        raw = handshake_response("dGhlIHNhbXBsZSBub25jZQ==")
+        assert raw.startswith(b"HTTP/1.1 101 ")
+        assert b"s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" in raw
+
+
+class TestFrameCodec:
+    def roundtrip(self, opcode, payload, *, mask=False, fin=True):
+        raw = encode_frame(opcode, payload, mask=mask, fin=fin)
+        frame, consumed = decode_frame(raw)
+        assert consumed == len(raw)
+        return frame
+
+    def test_short_text_roundtrip(self):
+        frame = self.roundtrip(OP_TEXT, b"hello")
+        assert frame == Frame(fin=True, opcode=OP_TEXT, payload=b"hello")
+
+    @pytest.mark.parametrize("size", [0, 125, 126, 127, 65535, 65536, 70_000])
+    def test_length_encodings_roundtrip(self, size):
+        payload = bytes(i & 0xFF for i in range(size))
+        frame = self.roundtrip(OP_BINARY, payload)
+        assert frame.payload == payload
+
+    @pytest.mark.parametrize("size", [0, 5, 126, 65536])
+    def test_masked_roundtrip(self, size):
+        payload = bytes(i & 0xFF for i in range(size))
+        raw = encode_frame(OP_BINARY, payload, mask=True)
+        # masked wire bytes differ from the payload (for nonempty input)
+        if size:
+            assert payload not in raw
+        frame, consumed = decode_frame(raw)
+        assert consumed == len(raw)
+        assert frame.payload == payload
+
+    def test_mask_is_involution(self):
+        key = b"\x01\x02\x03\x04"
+        data = b"some payload bytes"
+        assert apply_mask(apply_mask(data, key), key) == data
+
+    def test_incomplete_frames_return_none(self):
+        raw = encode_frame(OP_TEXT, b"x" * 300)
+        for cut in (0, 1, 2, 3, len(raw) - 1):
+            assert decode_frame(raw[:cut]) is None
+
+    def test_decode_leaves_trailing_bytes(self):
+        first = encode_frame(OP_TEXT, b"one")
+        frame, consumed = decode_frame(first + b"\x81\x03")
+        assert frame.payload == b"one"
+        assert consumed == len(first)
+
+    def test_reserved_bits_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\xc1\x00")  # RSV1 set
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\x83\x00")  # opcode 0x3 is reserved
+
+    def test_oversized_control_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(OP_PING, b"x" * 126)
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\x89\x7e\x00\x80")  # ping with 126-length header
+
+    def test_fragmented_control_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(OP_CLOSE, b"", fin=False)
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\x09\x00")  # ping without FIN
+
+    def test_close_payload_roundtrip(self):
+        payload = encode_close(CLOSE_TOO_BIG, "too big")
+        assert decode_close(payload) == (CLOSE_TOO_BIG, "too big")
+        assert decode_close(b"") == (1005, "")
+        with pytest.raises(ProtocolError):
+            decode_close(b"\x03")
+
+
+def ws_pair():
+    """A server-side WebSocket whose reader the test feeds by hand."""
+    reader = asyncio.StreamReader()
+
+    class SinkWriter:
+        def __init__(self):
+            self.sent = bytearray()
+
+        def write(self, data):
+            self.sent += data
+
+        async def drain(self):
+            pass
+
+    writer = SinkWriter()
+    return WebSocket(reader, writer), reader, writer
+
+
+class TestWebSocketEndpoint:
+    def test_fragmented_message_is_assembled(self):
+        async def go():
+            ws, reader, _ = ws_pair()
+            reader.feed_data(encode_frame(OP_TEXT, b"he", fin=False, mask=True))
+            reader.feed_data(encode_frame(OP_CONT, b"ll", fin=False, mask=True))
+            reader.feed_data(encode_frame(OP_CONT, b"o", fin=True, mask=True))
+            return await ws.recv()
+
+        assert asyncio.run(go()) == (OP_TEXT, b"hello")
+
+    def test_ping_is_answered_with_pong(self):
+        async def go():
+            ws, reader, writer = ws_pair()
+            reader.feed_data(encode_frame(OP_PING, b"tick", mask=True))
+            reader.feed_data(encode_frame(OP_TEXT, b"data", mask=True))
+            message = await ws.recv()
+            return message, bytes(writer.sent)
+
+        message, sent = asyncio.run(go())
+        assert message == (OP_TEXT, b"data")
+        frame, _ = decode_frame(sent)
+        assert frame.opcode == OP_PONG and frame.payload == b"tick"
+
+    def test_close_is_echoed_once_and_recv_returns_none(self):
+        async def go():
+            ws, reader, writer = ws_pair()
+            reader.feed_data(encode_frame(
+                OP_CLOSE, encode_close(CLOSE_NORMAL, "bye"), mask=True))
+            first = await ws.recv()
+            await ws.close()  # second close must not send another frame
+            return first, ws.close_code, bytes(writer.sent)
+
+        first, code, sent = asyncio.run(go())
+        assert first is None
+        assert code == CLOSE_NORMAL
+        frame, consumed = decode_frame(sent)
+        assert frame.opcode == OP_CLOSE
+        assert consumed == len(sent)  # exactly one close frame went out
+
+    def test_eof_without_close_returns_none(self):
+        async def go():
+            ws, reader, _ = ws_pair()
+            reader.feed_eof()
+            return await ws.recv()
+
+        assert asyncio.run(go()) is None
+
+    def test_interleaved_data_frames_rejected(self):
+        async def go():
+            ws, reader, _ = ws_pair()
+            reader.feed_data(encode_frame(OP_TEXT, b"a", fin=False, mask=True))
+            reader.feed_data(encode_frame(OP_TEXT, b"b", fin=True, mask=True))
+            await ws.recv()
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(go())
+
+    def test_oversized_message_closes_1009(self):
+        async def go():
+            ws, reader, writer = ws_pair()
+            ws.max_message = 8
+            reader.feed_data(encode_frame(OP_TEXT, b"x" * 9, mask=True))
+            try:
+                await ws.recv()
+            finally:
+                frame, _ = decode_frame(bytes(writer.sent))
+                assert frame.opcode == OP_CLOSE
+                assert decode_close(frame.payload)[0] == CLOSE_TOO_BIG
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(go())

@@ -1,0 +1,219 @@
+"""The worker entry points, run in-process.
+
+The real service runs :func:`job_worker_main` in a child process, which
+the coverage tracer cannot follow — these tests call the same entry
+points directly so the slice loops, the drain checks, and the
+error-reporting paths are exercised (and traced) without a fork.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import signal
+import time
+
+import pytest
+
+import repro.service.jobs as jobs_mod
+from repro.service.jobs import (
+    EXIT_DONE,
+    EXIT_FAILED,
+    EXIT_RELEASED,
+    JobManager,
+    JobRejected,
+    _run_campaign_job,
+    _run_explore_job,
+    _worker_entry,
+    _worker_sigterm,
+    job_worker_main,
+    parse_job_request,
+)
+from repro.service.quotas import QuotaPolicy
+
+from tests.service.conftest import SG_SPEC, trial_payload
+
+
+def explore_payload(n: int = 4, **extra) -> dict:
+    return {"kind": "explore", "spec": SG_SPEC, "n": n, **extra}
+
+
+@pytest.fixture
+def manager(tmp_path):
+    mgr = JobManager(tmp_path / "state", workers=0)
+    mgr.recover()
+    return mgr
+
+
+@pytest.fixture(autouse=True)
+def _reset_drain_flag():
+    """The drain flag is worker-process state; never leak it across tests."""
+    jobs_mod._drain_asked = 0
+    yield
+    jobs_mod._drain_asked = 0
+
+
+class TestWorkerMain:
+    def test_trial_job_runs_to_done(self, manager):
+        job = manager.submit(trial_payload(n=6, trials=2), "w")
+        assert job_worker_main(str(manager.job_dir(job.id))) == EXIT_DONE
+        result = json.loads(manager.result_path(job.id).read_text())
+        assert result["kind"] == "trial"
+        assert result["total"] == 2
+        assert result["aggregate"]
+        # the per-job store now answers the manager's progress query
+        assert manager.progress(job) == {"done": 2, "total": 2}
+
+    def test_explore_job_runs_to_done(self, manager):
+        job = manager.submit(explore_payload(n=4), "w")
+        assert job_worker_main(str(manager.job_dir(job.id))) == EXIT_DONE
+        result = json.loads(manager.result_path(job.id).read_text())
+        assert result["kind"] == "explore"
+        progress = manager.progress(job)
+        assert progress["expanded"] > 0 and progress["pending"] == 0
+
+    def test_truncated_explore_fails_with_named_error(self, manager):
+        job = manager.submit(explore_payload(n=4, max_states=10), "w")
+        assert job_worker_main(str(manager.job_dir(job.id))) == EXIT_FAILED
+        error = json.loads((manager.job_dir(job.id) / "error.json").read_text())
+        assert error["error"] == "worker-error"
+        assert "truncated" in error["detail"]
+
+    def test_torn_control_record_fails_cleanly(self, tmp_path):
+        job_dir = tmp_path / "job-torn"
+        job_dir.mkdir()
+        (job_dir / "job.json").write_text("{not json")
+        assert job_worker_main(str(job_dir)) == EXIT_FAILED
+        assert (job_dir / "error.json").exists()
+
+    def test_released_run_exits_with_release_code(self, manager, monkeypatch):
+        job = manager.submit(trial_payload(), "w")
+        monkeypatch.setattr(jobs_mod, "_run_campaign_job",
+                            lambda *a, **kw: None)
+        assert job_worker_main(str(manager.job_dir(job.id))) == EXIT_RELEASED
+        assert not manager.result_path(job.id).exists()
+
+    def test_keyboard_interrupt_releases_not_fails(self, manager, monkeypatch):
+        job = manager.submit(trial_payload(), "w")
+
+        def boom(*a, **kw):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(jobs_mod, "_run_campaign_job", boom)
+        assert job_worker_main(str(manager.job_dir(job.id))) == EXIT_RELEASED
+        assert not (manager.job_dir(job.id) / "error.json").exists()
+
+    def test_worker_entry_exits_with_worker_code(self, monkeypatch):
+        monkeypatch.setattr(jobs_mod, "job_worker_main", lambda d: 3)
+        with pytest.raises(SystemExit) as exc:
+            _worker_entry("ignored")
+        assert exc.value.code == 3
+
+    def test_first_sigterm_only_sets_the_drain_flag(self):
+        _worker_sigterm(signal.SIGTERM, None)
+        assert jobs_mod._drain_asked == 1
+
+
+class TestDrainChecks:
+    def test_campaign_slice_loop_releases_on_drain(self, manager, tmp_path):
+        # 12 trials > one 8-trial slice, so the loop re-checks the flag
+        request = parse_job_request(trial_payload(n=6, trials=12))
+        jobs_mod._drain_asked = 1
+        store = tmp_path / "drain-campaign"
+        assert _run_campaign_job(request, "job-x", store) is None
+        # the finished slice is durable: a fresh run resumes, not restarts
+        jobs_mod._drain_asked = 0
+        result = _run_campaign_job(request, "job-x", store)
+        assert result["total"] == 12
+
+    def test_explore_slice_loop_releases_on_drain(self, manager, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setattr(jobs_mod, "EXPLORE_SLICE", 4)
+        request = parse_job_request(explore_payload(n=4))
+        jobs_mod._drain_asked = 1
+        store = tmp_path / "drain-explore"
+        assert _run_explore_job(request, store) is None
+        jobs_mod._drain_asked = 0
+        result = _run_explore_job(request, store)
+        assert result["kind"] == "explore"
+
+
+class TestParseEdges:
+    def test_explore_requests_have_open_total(self):
+        assert parse_job_request(explore_payload()).total_units == 0
+
+    def test_empty_specs_list_is_bad_payload(self):
+        with pytest.raises(JobRejected) as exc:
+            parse_job_request({"specs": [], "n": 4})
+        assert exc.value.code == "bad-payload"
+
+    def test_non_object_spec_entry_is_bad_spec(self):
+        with pytest.raises(JobRejected) as exc:
+            parse_job_request({"kind": "campaign", "specs": ["sg"], "n": 4})
+        assert exc.value.code == "bad-spec" and exc.value.status == 422
+
+    def test_scalar_n_values_is_bad_int(self):
+        with pytest.raises(JobRejected) as exc:
+            parse_job_request({"spec": SG_SPEC, "n_values": 7})
+        assert exc.value.code == "bad-int"
+
+    def test_trial_with_two_n_values_is_bad_int(self):
+        with pytest.raises(JobRejected) as exc:
+            parse_job_request({"spec": SG_SPEC, "n_values": [4, 5]})
+        assert exc.value.code == "bad-int"
+
+    def test_max_states_cap_is_422(self):
+        quota = QuotaPolicy(max_states=100)
+        with pytest.raises(JobRejected) as exc:
+            parse_job_request(explore_payload(max_states=101), quota)
+        assert exc.value.code == "limit-exceeded" and exc.value.status == 422
+        rejection = quota.check_spec_limits(
+            n_values=(4,), trials=1, max_states=101)
+        assert rejection[0] == 422 and "max_states" in rejection[2]
+
+
+class TestManagerEdges:
+    def test_recover_skips_torn_control_records(self, tmp_path):
+        mgr = JobManager(tmp_path / "state", workers=0)
+        good = mgr.submit(trial_payload(), "w")
+        torn = mgr.jobs_dir / "job-torn"
+        torn.mkdir()
+        (torn / "job.json").write_text("{half a reco")
+        fresh = JobManager(tmp_path / "state", workers=0)
+        recovered = fresh.recover()
+        assert recovered == {"jobs": 1, "requeued": 0}
+        assert set(fresh.jobs) == {good.id}
+
+    def test_read_error_without_error_file_names_the_exit(self, manager):
+        error = manager._read_error("job-gone", 7)
+        assert error["error"] == "worker-exit"
+        assert "7" in error["detail"]
+
+
+def _stubborn_worker(ready) -> None:
+    """A worker that ignores SIGTERM — drain must escalate to SIGKILL."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    ready.set()
+    time.sleep(60)
+
+
+class TestDrainEscalation:
+    def test_sigterm_deaf_worker_is_killed_and_requeued(self, tmp_path):
+        mgr = JobManager(tmp_path / "state", workers=1,
+                         poll_interval=0.01, kill_grace=0.1)
+        mgr.recover()
+        job = mgr.submit(trial_payload(), "w")
+        job.state = "running"
+        mgr._persist(job)
+        ready = multiprocessing.Event()
+        proc = mgr._mp.Process(target=_stubborn_worker, args=(ready,),
+                               daemon=True)
+        proc.start()
+        assert ready.wait(timeout=10.0)
+        mgr.procs[job.id] = proc
+        asyncio.run(mgr.drain())
+        assert not mgr.procs
+        assert not proc.is_alive()
+        # killed mid-run: the job is intact and goes back in the queue
+        assert mgr.jobs[job.id].state == "queued"

@@ -31,6 +31,11 @@ MODULES = [
     "repro.statespace.expand",
     "repro.statespace.explore",
     "repro.statespace.store",
+    "repro.registry.schema",
+    "repro.service",
+    "repro.service.protocol",
+    "repro.service.jobs",
+    "repro.service.stream",
 ]
 
 
@@ -98,6 +103,23 @@ def test_registry_api_is_top_level():
         game="asg", game_params={"mode": "sum"}, topology_params={"budget": 1}
     )
     assert repro.as_scenario(spec) is spec
+
+
+def test_service_api_is_top_level():
+    """The PR 9 service surface is exported from ``repro`` itself,
+    and the serve workload registered into the workload axis."""
+    import repro
+
+    for name in (
+        "ServiceConfig",
+        "ServiceThread",
+        "ReproService",
+        "JobManager",
+        "QuotaPolicy",
+    ):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+    assert repro.REGISTRY.has("workload", "serve")
 
 
 def test_star_import_is_clean():
