@@ -162,12 +162,61 @@ def service_layer(budget: int, seed: int) -> None:
         print(f"  final aggregate over {result['total']} trials fetched")
 
 
+def observability_layer(n: int, budget: int, seed: int) -> None:
+    """Telemetry riding along with a run: tracing spans + the meter.
+
+    Everything below is permanently compiled into the dynamics, the
+    distance backends and the explorer — ``configure_tracing`` merely
+    switches where spans go, and the meter counts whenever ``REPRO_OBS``
+    isn't 0.  The same snapshot renders as a Prometheus page on the
+    service's ``GET /metrics`` and as the ``repro top`` console.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro import (
+        configure_tracing,
+        encode_prometheus,
+        run_dynamics,
+        span,
+        summarize_trace,
+    )
+    from repro.obs.metrics import DEFAULT
+
+    trace_path = Path(tempfile.mkdtemp(prefix="quickstart-obs-")) / "trace.jsonl"
+    configure_tracing(trace_path)
+    before = DEFAULT.snapshot()
+    try:
+        with span("quickstart.observability", n=n):
+            net = random_budget_network(n, budget, seed=seed)
+            run_dynamics(AsymmetricSwapGame("sum"), net,
+                         MaxCostPolicy(), seed=seed)
+    finally:
+        configure_tracing(None)
+
+    summary = summarize_trace(trace_path)
+    print(f"\ntraced {summary['total_events']} spans "
+          f"(also: repro trace summarize {trace_path}):")
+    for name, row in summary["spans"].items():
+        print(f"  {name}: count={row['count']} total={row['total_s']:.3f}s")
+
+    from repro.obs.metrics import diff_snapshots
+    delta = diff_snapshots(DEFAULT.snapshot(), before)
+    page = encode_prometheus(delta)
+    sample = [l for l in page.splitlines()
+              if l.startswith("repro_dynamics_runs_total")]
+    print("metrics the run accrued (Prometheus text, as on GET /metrics):")
+    for line in sample:
+        print(f"  {line}")
+
+
 def main(n: int = 30, budget: int = 2, seed: int = 7) -> None:
     core_layer(n, budget, seed)
     scenario_layer(n, budget, seed)
     statespace_layer()
     greedy_equilibrium_layer()
     service_layer(budget, seed)
+    observability_layer(n, budget, seed)
 
 
 if __name__ == "__main__":

@@ -72,6 +72,15 @@ from .graphs.generators import (
     random_tree_network,
     star_network,
 )
+from .obs import (
+    Meter,
+    Tracer,
+    configure as configure_tracing,
+    encode_prometheus,
+    merge_snapshots,
+    span,
+    summarize_trace,
+)
 from .registry import (
     CATEGORIES,
     REGISTRY,
@@ -164,6 +173,14 @@ __all__ = [
     "enumerate_states",
     "explore",
     "verify_sinks",
+    # observability
+    "Meter",
+    "Tracer",
+    "configure_tracing",
+    "encode_prometheus",
+    "merge_snapshots",
+    "span",
+    "summarize_trace",
     # simulation service
     "JobManager",
     "QuotaPolicy",

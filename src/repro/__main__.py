@@ -23,6 +23,13 @@ Commands
     claimed under heartbeat leases, crashed or stalled workers lose
     their lease and the unit is reassigned — ``kill -9`` safe, and the
     drained aggregate is byte-identical to a serial run.
+``top ROOT [--once] [--interval S]``
+    Console over a drain fleet's merged metrics: lease events, claim
+    latency, heartbeat age, and every kernel counter the workers
+    accrued, folded from the per-worker snapshot files.
+``trace summarize FILE [--json]``
+    Fold a trace JSONL file (``REPRO_TRACE``) into a per-span table:
+    count, total, mean, and max wall time per span name.
 ``compact RESULTS_DIR [--prune] [--status]``
     Fold a store's JSONL records into the columnar analytics layout
     (parquet when pyarrow is available, a pure-python column-chunk
@@ -384,6 +391,7 @@ def cmd_campaign(args) -> int:
 
 def cmd_drain(args) -> int:
     """``repro drain``: drain a figure campaign with a worker fleet."""
+    import json
     import os
 
     from .experiments.campaign import CampaignMismatch
@@ -411,8 +419,29 @@ def cmd_drain(args) -> int:
         )
         report = workload(source, root)
     except (CampaignMismatch, FabricError, ValueError) as exc:
-        print(f"error: {exc}")
+        if args.json:
+            print(json.dumps({"error": str(exc)}, sort_keys=True))
+        else:
+            print(f"error: {exc}")
         return 2
+    if args.json:
+        # machine-readable drain report: per-worker last-heartbeat age and
+        # retry counts ride along with the unit totals and fleet metrics
+        print(json.dumps({
+            "figure": figure,
+            "root": root,
+            "complete": report.complete,
+            "interrupted": report.interrupted,
+            "workers": report.workers,
+            "units_done": report.units_done,
+            "units_failed": report.units_failed,
+            "reassigned": report.reassigned,
+            "respawned": report.respawned,
+            "worker_stats": report.worker_stats,
+            "failed": report.failed,
+            "fleet_metrics": report.fleet_metrics,
+        }, indent=2, sort_keys=True))
+        return 0 if report.complete else 1
     print(f"drained campaign {figure} in {root}: "
           f"{report.units_done} units done across {report.workers} workers"
           + (f", {report.reassigned} leases reassigned" if report.reassigned else "")
@@ -445,6 +474,83 @@ def cmd_drain(args) -> int:
     elif not report.failed:
         print("(incomplete — rerun to drain the remaining units)")
     return 1
+
+
+def _format_snapshot(snapshot) -> str:
+    """One metrics snapshot as aligned ``name{labels}  value`` lines."""
+    import json
+
+    lines = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        for labelstr in sorted(family.get("values", {})):
+            labels = json.loads(labelstr)
+            suffix = ("{" + ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels else "")
+            cell = family["values"][labelstr]
+            if family["type"] == "histogram":
+                count = cell["count"]
+                mean_ms = (cell["sum"] / count * 1000.0) if count else 0.0
+                shown = (f"count={count} mean={mean_ms:.2f}ms "
+                         f"sum={cell['sum']:.3f}s")
+            else:
+                shown = f"{cell:g}"
+            lines.append(f"  {name + suffix:<52} {shown}")
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """``repro top``: console over a drain fleet's metrics files."""
+    import time
+
+    from .experiments.fabric import fleet_snapshot, metrics_dir
+
+    if args.once:
+        snap = fleet_snapshot(args.root)
+        if not snap:
+            print(f"no fleet metrics under {metrics_dir(args.root)}")
+            return 1
+        print(_format_snapshot(snap))
+        return 0
+    try:
+        while True:
+            snap = fleet_snapshot(args.root)
+            print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+            print(f"repro top — {metrics_dir(args.root)} — "
+                  f"{time.strftime('%H:%M:%S')}  (ctrl-c to quit)")
+            print(_format_snapshot(snap) if snap else "  (no fleet metrics yet)")
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_trace(args) -> int:
+    """``repro trace summarize``: fold trace JSONL into a per-span table."""
+    import json
+
+    from .obs.tracing import summarize_trace
+
+    try:
+        summary = summarize_trace(args.file)
+    except OSError as exc:
+        print(f"error: cannot read {args.file!r}: {exc}")
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if summary["spans"] else 1
+    spans = summary["spans"]
+    print(f"{args.file}: {summary['total_events']} events, "
+          f"{len(spans)} span names"
+          + (f", {summary['skipped_lines']} damaged lines skipped"
+             if summary["skipped_lines"] else ""))
+    if spans:
+        print(f"  {'span':<28} {'count':>7} {'total':>10} "
+              f"{'mean':>10} {'max':>10}")
+        for name, row in spans.items():
+            print(f"  {name:<28} {row['count']:>7} {row['total_s']:>9.3f}s "
+                  f"{row['mean_s'] * 1000:>8.2f}ms {row['max_s'] * 1000:>8.2f}ms")
+    return 0 if spans else 1
 
 
 def cmd_serve(args) -> int:
@@ -797,6 +903,10 @@ def main(argv=None) -> int:
     p.add_argument("--prune", action="store_true",
                    help="with --compact: delete the JSONL files the "
                         "compaction fully covers")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable drain report: unit totals plus "
+                        "per-worker last-heartbeat age / retry counts and "
+                        "the merged fleet metrics snapshot")
     p.set_defaults(func=cmd_drain)
 
     p = sub.add_parser(
@@ -821,6 +931,26 @@ def main(argv=None) -> int:
     p.add_argument("--max-states", type=int, default=200_000,
                    help="largest exploration budget one job may request")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="console over a drain fleet's merged metrics snapshots")
+    p.add_argument("root", help="campaign store root (e.g. results/fig7-seed0)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (no screen refresh)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period in seconds")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser("trace", help="inspect obs trace files")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser(
+        "summarize",
+        help="fold a trace JSONL file into a per-span time table")
+    ps.add_argument("file", help="trace file (what REPRO_TRACE pointed at)")
+    ps.add_argument("--json", action="store_true",
+                    help="machine-readable summary")
+    ps.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "compact",

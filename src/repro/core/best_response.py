@@ -28,10 +28,20 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..graphs import adjacency as adj
+from ..obs import metrics as obs_metrics
 from .costs import DistanceMode
 from .network import Network
 
 __all__ = ["DeviationEvaluator"]
+
+# one evaluator build = one priced agent-state; batches are the
+# vectorized all-single-edge-variants passes
+_DEVIATION_EVALS = obs_metrics.counter(
+    "repro_deviation_evals_total",
+    "DeviationEvaluator work by operation",
+    ("op",))
+_EVAL_BUILDS = _DEVIATION_EVALS.labels(op="build")
+_EVAL_BATCHES = _DEVIATION_EVALS.labels(op="batch")
 
 
 class DeviationEvaluator:
@@ -66,6 +76,7 @@ class DeviationEvaluator:
         self.n = net.n
         self.mode = mode
         self.D = adj.distances_without_vertex(net.A, self.u) if D is None else D
+        _EVAL_BUILDS.inc()
 
     # -- scalar evaluation -------------------------------------------------
     def distance_vector(self, neighbor_ids: Sequence[int] | np.ndarray) -> np.ndarray:
@@ -107,6 +118,7 @@ class DeviationEvaluator:
         cand = np.asarray(candidates, dtype=np.int64)
         if cand.size == 0:
             return np.empty(0)
+        _EVAL_BATCHES.inc()
         # the fancy-index gather is already a fresh buffer; finish the
         # candidate rows in place instead of allocating a second matrix
         M = self.D[cand]

@@ -31,6 +31,8 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from ..graphs.incremental import DistanceBackend, make_backend
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..statespace.encode import state_key
 from .games import EPS, BestResponse, Game
 from .moves import Buy, Delete, Move, Swap, move_kind
@@ -54,6 +56,36 @@ __all__ = [
 #: below this many agents the incremental engine's bookkeeping (state
 #: hashing, snapshot diffs) costs more than just re-running tiny BFSes.
 AUTO_BACKEND_MIN_N = 32
+
+# run-level telemetry: one span + a handful of counter updates per run
+# (never per step), so the disabled-mode cost stays under the
+# BENCH_obs.json overhead gate on the trajectory benches
+_DYNAMICS_RUNS = obs_metrics.counter(
+    "repro_dynamics_runs_total",
+    "Completed dynamics runs by scheduler and outcome",
+    ("dynamics", "status"))
+_DYNAMICS_STEPS = obs_metrics.counter(
+    "repro_dynamics_steps_total",
+    "Applied moves across all dynamics runs",
+    ("dynamics",))
+_SEQ_STEPS = _DYNAMICS_STEPS.labels(dynamics="sequential")
+_SIM_STEPS = _DYNAMICS_STEPS.labels(dynamics="simultaneous")
+_ROUNDS_TOTAL = obs_metrics.counter(
+    "repro_dynamics_rounds_total",
+    "Simultaneous activation rounds across all runs")
+_MOVES_SKIPPED = obs_metrics.counter(
+    "repro_dynamics_moves_skipped_total",
+    "Planned simultaneous moves dropped by the collision rule",
+    ("reason",))
+_SKIPPED = {reason: _MOVES_SKIPPED.labels(reason=reason)
+            for reason in ("conflict", "blocked", "stale")}
+_LAST_STEPS = obs_metrics.gauge(
+    "repro_dynamics_last_steps",
+    "Steps of the most recent run (merges as the fleet-wide max)",
+    ("dynamics",))
+_ROUND_MOVERS = obs_metrics.gauge(
+    "repro_dynamics_round_movers",
+    "Unhappy-set size of the most recent simultaneous round")
 
 
 def _select_caller(policy: MovePolicy):
@@ -243,6 +275,9 @@ def run_dynamics(
         seen[state_key(net)] = 0
 
     def finish(status: str, steps: int, cycle_start: Optional[int] = None) -> RunResult:
+        _DYNAMICS_RUNS.inc(dynamics="sequential", status=status)
+        _SEQ_STEPS.inc(steps)
+        _LAST_STEPS.labels(dynamics="sequential").set(steps)
         return RunResult(
             status, steps, net, trajectory,
             cycle_start=cycle_start,
@@ -250,25 +285,27 @@ def run_dynamics(
             backend_stats=backend_obj.stats(),
         )
 
-    for step in range(max_steps):
-        br = select(game, net, rng, backend=backend_obj)
-        if br is None:
-            return finish("converged", step)
-        move = choose_move(br, rng, move_tie_break)
-        kind = move_kind(move, net)
-        move.apply(net)
-        policy.notify(br.agent)
-        if record_trajectory:
-            trajectory.append(
-                StepRecord(step, br.agent, move, kind, br.cost_before, br.best_cost)
-            )
-        if detect_cycles:
-            key = state_key(net)
-            if key in seen:
-                return finish("cycled", step + 1, cycle_start=seen[key])
-            seen[key] = step + 1
+    with obs_tracing.span("dynamics.run", game=type(game).__name__,
+                          n=net.n, backend=backend_obj.name):
+        for step in range(max_steps):
+            br = select(game, net, rng, backend=backend_obj)
+            if br is None:
+                return finish("converged", step)
+            move = choose_move(br, rng, move_tie_break)
+            kind = move_kind(move, net)
+            move.apply(net)
+            policy.notify(br.agent)
+            if record_trajectory:
+                trajectory.append(
+                    StepRecord(step, br.agent, move, kind, br.cost_before, br.best_cost)
+                )
+            if detect_cycles:
+                key = state_key(net)
+                if key in seen:
+                    return finish("cycled", step + 1, cycle_start=seen[key])
+                seen[key] = step + 1
 
-    return finish("exhausted", max_steps)
+        return finish("exhausted", max_steps)
 
 
 # ---------------------------------------------------------------------------
@@ -425,56 +462,67 @@ class SimultaneousDynamics:
         steps = 0
 
         def finish(status: str, rounds: int, cycle_start=None, cycle_end=None):
+            _DYNAMICS_RUNS.inc(dynamics="simultaneous", status=status)
+            _SIM_STEPS.inc(steps)
+            _LAST_STEPS.labels(dynamics="simultaneous").set(steps)
             return SimultaneousResult(
                 status, rounds, steps, net, records,
                 cycle_start=cycle_start, cycle_end=cycle_end,
                 backend_stats=backend_obj.stats(),
             )
 
-        for rnd in range(max_rounds):
-            planned: List[tuple] = []
-            for u in range(net.n):
-                br = game.best_responses(net, u, backend=backend_obj)
-                if br.is_improving:
-                    planned.append((u, choose_move(br, rng, self.move_tie_break), br))
-            if not planned:
-                return finish("converged", rnd)
-            record = RoundRecord(rnd, movers=[u for u, _, _ in planned])
-            consent = getattr(game, "feasible", None)
-            for u, move, br in planned:
-                if not move_applicable(move, net):
-                    record.skipped.append((u, "conflict"))
-                    continue
-                if (
-                    consent is not None
-                    and getattr(move, "bilateral", False)
-                    and not consent(net, move)
-                ):
-                    record.skipped.append((u, "blocked"))
-                    continue
-                cost_before = game.current_cost(net, u, backend=backend_obj)
-                if self.collision == "forfeit":
-                    new_cost = game.evaluate_move(net, u, move, backend=backend_obj)
-                    if new_cost >= cost_before - EPS:
-                        record.skipped.append((u, "stale"))
+        with obs_tracing.span("dynamics.simultaneous",
+                              game=type(game).__name__, n=net.n,
+                              collision=self.collision):
+            for rnd in range(max_rounds):
+                planned: List[tuple] = []
+                for u in range(net.n):
+                    br = game.best_responses(net, u, backend=backend_obj)
+                    if br.is_improving:
+                        planned.append((u, choose_move(br, rng, self.move_tie_break), br))
+                if not planned:
+                    return finish("converged", rnd)
+                _ROUNDS_TOTAL.inc()
+                _ROUND_MOVERS.set(len(planned))
+                record = RoundRecord(rnd, movers=[u for u, _, _ in planned])
+                consent = getattr(game, "feasible", None)
+                for u, move, br in planned:
+                    if not move_applicable(move, net):
+                        record.skipped.append((u, "conflict"))
+                        _SKIPPED["conflict"].inc()
                         continue
-                kind = move_kind(move, net)
-                move.apply(net)
-                cost_after = game.current_cost(net, u, backend=backend_obj)
-                record.applied.append(
-                    StepRecord(steps, u, move, kind, cost_before, cost_after)
-                )
-                steps += 1
-            records.append(record)
-            if self.detect_cycles:
-                key = state_key(net)
-                if key in seen:
-                    return finish(
-                        "cycled", rnd + 1, cycle_start=seen[key], cycle_end=rnd + 1
+                    if (
+                        consent is not None
+                        and getattr(move, "bilateral", False)
+                        and not consent(net, move)
+                    ):
+                        record.skipped.append((u, "blocked"))
+                        _SKIPPED["blocked"].inc()
+                        continue
+                    cost_before = game.current_cost(net, u, backend=backend_obj)
+                    if self.collision == "forfeit":
+                        new_cost = game.evaluate_move(net, u, move, backend=backend_obj)
+                        if new_cost >= cost_before - EPS:
+                            record.skipped.append((u, "stale"))
+                            _SKIPPED["stale"].inc()
+                            continue
+                    kind = move_kind(move, net)
+                    move.apply(net)
+                    cost_after = game.current_cost(net, u, backend=backend_obj)
+                    record.applied.append(
+                        StepRecord(steps, u, move, kind, cost_before, cost_after)
                     )
-                seen[key] = rnd + 1
+                    steps += 1
+                records.append(record)
+                if self.detect_cycles:
+                    key = state_key(net)
+                    if key in seen:
+                        return finish(
+                            "cycled", rnd + 1, cycle_start=seen[key], cycle_end=rnd + 1
+                        )
+                    seen[key] = rnd + 1
 
-        return finish("exhausted", max_rounds)
+            return finish("exhausted", max_rounds)
 
 
 def run_simultaneous_dynamics(

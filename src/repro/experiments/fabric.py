@@ -81,6 +81,8 @@ from collections import deque
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..testing.faults import resolve_fs
 from .campaign import (
     CampaignStore,
@@ -101,6 +103,8 @@ __all__ = [
     "Coordinator",
     "DrainReport",
     "drain_campaign",
+    "fleet_snapshot",
+    "metrics_dir",
     "worker_main",
 ]
 
@@ -114,6 +118,52 @@ DEFAULT_DRAIN_GRACE = 10.0
 
 #: subdirectory of the store root holding the queue.
 QUEUE_DIRNAME = "fabric"
+
+#: subdirectory of the queue dir where workers persist their metric
+#: snapshots (one JSON per worker id; ``repro top`` and the
+#: coordinator fold them with :func:`repro.obs.merge_snapshots`).
+METRICS_DIRNAME = "metrics"
+
+_CLAIM_SECONDS = obs_metrics.histogram(
+    "repro_fabric_claim_seconds",
+    "Latency of successful work-queue claims")
+_LEASE_EVENTS = obs_metrics.counter(
+    "repro_fabric_lease_events_total",
+    "Lease lifecycle events across the fleet",
+    ("event",))
+_LEASE_CLAIMED = _LEASE_EVENTS.labels(event="claimed")
+_LEASE_COMPLETED = _LEASE_EVENTS.labels(event="completed")
+_LEASE_RELEASED = _LEASE_EVENTS.labels(event="released")
+_LEASE_EXPIRED = _LEASE_EVENTS.labels(event="expired")
+_LEASE_FAILED = _LEASE_EVENTS.labels(event="failed")
+_LEASE_CRASH_REQUEUED = _LEASE_EVENTS.labels(event="crash_requeued")
+_LEASE_PARKED = _LEASE_EVENTS.labels(event="parked")
+_HEARTBEAT_AGE = obs_metrics.gauge(
+    "repro_fabric_heartbeat_age_seconds",
+    "Oldest heartbeat fingerprint age across live leases at the last "
+    "reap scan")
+
+
+def metrics_dir(root) -> Path:
+    """Where the fleet's per-worker metric snapshots live."""
+    return Path(root) / QUEUE_DIRNAME / METRICS_DIRNAME
+
+
+def fleet_snapshot(root) -> dict:
+    """Fold every worker metrics file under ``root`` into one snapshot.
+
+    Unreadable / torn files are skipped (a worker may be mid-replace);
+    the fold is associative + commutative, so the result is independent
+    of file order.
+    """
+    merged: dict = {}
+    for path in sorted(metrics_dir(root).glob("*.json")):
+        try:
+            snap = obs_metrics.read_snapshot_file(path)
+        except (OSError, ValueError):
+            continue
+        merged = obs_metrics.merge_snapshots(merged, snap)
+    return merged
 
 
 class FabricError(RuntimeError):
@@ -156,6 +206,13 @@ class WorkQueue:
         #: fingerprints observed against the *reaper's* clock are what
         #: make lease expiry immune to worker clock skew.
         self._observed: Dict[str, Tuple[tuple, float]] = {}
+        #: per-live-lease detail from the most recent :meth:`reap_expired`
+        #: scan: unit id -> owner / heartbeat-fingerprint age / retries /
+        #: elapsed.  The coordinator folds this into per-worker status.
+        self.last_lease_info: Dict[str, dict] = {}
+        #: leases the most recent scan expired: dicts with unit / owner /
+        #: outcome ("requeued" | "failed") / error.
+        self.last_reaped: List[dict] = []
         #: cached pending-dir listing, consumed head-first by claims and
         #: refreshed at most once per claim (on miss/exhaustion), so the
         #: per-claim cost no longer scales with queue depth.
@@ -226,6 +283,7 @@ class WorkQueue:
         mid-write by a killed ``initialize``) go back to the cache head
         for the next claim.
         """
+        started = time.monotonic()
         now = time.time()
         cache = self._pending_cache
         deferred: List[Path] = []
@@ -260,6 +318,8 @@ class WorkQueue:
                     self._write(target, unit)
                 except OSError:
                     pass  # reaped at the instant of claim; treat as claimed anyway
+                _LEASE_CLAIMED.inc()
+                _CLAIM_SECONDS.observe(time.monotonic() - started)
                 return Lease(unit, target)
         finally:
             cache.extendleft(reversed(deferred))
@@ -298,6 +358,7 @@ class WorkQueue:
         unit["not_before"] = 0.0
         unit["error"] = note
         self._observed.pop(lease.id, None)
+        _LEASE_RELEASED.inc()
         self._write(self.pending / lease.path.name, unit)
         try:
             self.fs.unlink(lease.path)
@@ -327,6 +388,7 @@ class WorkQueue:
             self.fs.unlink(lease.path)
         except OSError:
             pass
+        _LEASE_COMPLETED.inc()
         return True
 
     def fail_lease(
@@ -392,6 +454,9 @@ class WorkQueue:
             now = time.monotonic()
         requeued = failed = 0
         seen = set()
+        self.last_lease_info = {}
+        self.last_reaped = []
+        oldest_age = 0.0
         for path in sorted(self.leased.glob("*.json")):
             if (self.done / path.name).exists():
                 # completed during a previous reap race — just clean up
@@ -412,6 +477,14 @@ class WorkQueue:
                 known = self._observed[unit_id]
             owner = unit.get("owner", "unknown")
             elapsed = float(unit.get("elapsed", 0.0) or 0.0)
+            age = max(now - known[1], 0.0)
+            oldest_age = max(oldest_age, age)
+            self.last_lease_info[unit_id] = {
+                "owner": owner,
+                "heartbeat_age": round(age, 3),
+                "retries": int(unit.get("retries", 0)),
+                "elapsed": elapsed,
+            }
             if unit_timeout is not None and elapsed > unit_timeout:
                 error = (f"unit exceeded unit_timeout={unit_timeout:g}s "
                          f"(elapsed {elapsed:g}s on worker {owner})")
@@ -426,10 +499,17 @@ class WorkQueue:
                 self.fail_lease(lease, f"{error} (attempt {retries})",
                                 max_retries=0)
                 failed += 1
+                _LEASE_FAILED.inc()
+                outcome = "failed"
             else:
                 self.fail_lease(lease, f"{error} (attempt {retries})",
                                 max_retries=max_retries, backoff=backoff)
                 requeued += 1
+                _LEASE_EXPIRED.inc()
+                outcome = "requeued"
+            self.last_reaped.append({"unit": unit_id, "owner": owner,
+                                     "outcome": outcome, "error": error})
+        _HEARTBEAT_AGE.set(oldest_age)
         # forget leases that left the leased state some other way
         for unit_id in list(self._observed):
             if unit_id not in seen:
@@ -497,10 +577,12 @@ class WorkQueue:
                     }, indent=2, sort_keys=True),
                 )
                 parked += 1
+                _LEASE_PARKED.inc()
             else:
                 unit["not_before"] = 0.0  # crash recovery skips backoff
                 self._write(self.pending / path.name, unit)
                 requeued += 1
+                _LEASE_CRASH_REQUEUED.inc()
             try:
                 self.fs.unlink(path)
             except OSError:
@@ -854,6 +936,9 @@ def worker_main(
     store = source.store(root)
     completed = 0
     draining = {"asked": False}
+    # the meter may carry fork-inherited parent counts; persisting the
+    # delta keeps fleet merges (``repro top``, the coordinator) exact
+    entry_snapshot = obs_metrics.DEFAULT.snapshot()
 
     def _on_signal(signum, frame):
         if draining["asked"]:
@@ -882,7 +967,9 @@ def worker_main(
             )
             beat.start()
             try:
-                result = source.execute(lease.unit, store, worker_id)
+                with obs_tracing.span("fabric.unit", unit=lease.id,
+                                      worker=worker_id):
+                    result = source.execute(lease.unit, store, worker_id)
             except _DrainNow:
                 beat.stop()
                 queue.release(lease, note=f"released by {worker_id} on drain")
@@ -896,6 +983,13 @@ def worker_main(
             queue.complete(lease, result)
             completed += 1
     finally:
+        try:
+            obs_metrics.write_snapshot_file(
+                metrics_dir(root) / f"{worker_id}.json",
+                snapshot=obs_metrics.diff_snapshots(
+                    obs_metrics.DEFAULT.snapshot(), entry_snapshot))
+        except OSError:
+            pass  # telemetry must never fail the worker
         for sig, handler in previous.items():
             try:
                 signal.signal(sig, handler)
@@ -922,6 +1016,14 @@ class DrainReport:
     result: Optional[object] = None
     #: a SIGTERM/SIGINT cut the drain short (partial progress returned).
     interrupted: bool = False
+    #: per-worker status the coordinator observed: worker id ->
+    #: ``{"last_heartbeat_age", "retries", "requeues", "crashes",
+    #: "unit"}`` — ``repro drain --json`` surfaces this verbatim.
+    worker_stats: Dict[str, dict] = field(default_factory=dict)
+    #: fleet-wide metric snapshot (the workers' persisted snapshots
+    #: folded with :func:`repro.obs.merge_snapshots`), or ``None``
+    #: when no worker wrote one.
+    fleet_metrics: Optional[dict] = None
 
 
 class Coordinator:
@@ -983,6 +1085,14 @@ class Coordinator:
         self.parked = 0
         self.interrupted = False
         self._spawn_seq = 0
+        #: worker id -> accumulated status (heartbeat age, retries,
+        #: requeues, crashes) observed across reap scans
+        self.worker_stats: Dict[str, dict] = {}
+
+    def _worker_stat(self, worker: str) -> dict:
+        return self.worker_stats.setdefault(
+            worker, {"last_heartbeat_age": None, "retries": 0,
+                     "requeues": 0, "crashes": 0, "unit": None})
 
     def _spawn(self, slot: int) -> None:
         worker_id = f"w{slot}.{self._spawn_seq}"
@@ -1014,19 +1124,28 @@ class Coordinator:
                     unit_timeout=self.unit_timeout,
                 )
                 self.reassigned += requeued
+                for unit_id, info in self.queue.last_lease_info.items():
+                    stat = self._worker_stat(info["owner"])
+                    stat["last_heartbeat_age"] = info["heartbeat_age"]
+                    stat["retries"] = max(stat["retries"], info["retries"])
+                    stat["unit"] = unit_id
+                for reaped in self.queue.last_reaped:
+                    self._worker_stat(reaped["owner"])["requeues"] += 1
                 for slot, proc in list(self.procs.items()):
                     if proc.exitcode is None or proc.exitcode == 0:
                         continue
                     # a worker died (crash or kill) with work outstanding:
                     # recover its lease *now* (no TTL wait) and diagnose
                     # poison units before burning another process on them
+                    owner = self.slot_owner.get(slot, f"w{slot}")
                     rq, parked = self.queue.fail_dead_owner(
-                        self.slot_owner.get(slot, f"w{slot}"),
+                        owner,
                         max_crashes=self.max_unit_crashes,
                         exitcode=proc.exitcode,
                     )
                     self.reassigned += rq
                     self.parked += parked
+                    self._worker_stat(owner)["crashes"] += 1
                     if self.respawned >= self.max_respawns:
                         raise FabricError(
                             f"worker fleet died {self.respawned} times; "
@@ -1135,6 +1254,8 @@ class Coordinator:
             failed=failed,
             result=self.source.result(store) if complete else None,
             interrupted=self.interrupted,
+            worker_stats={w: dict(s) for w, s in self.worker_stats.items()},
+            fleet_metrics=fleet_snapshot(self.root) or None,
         )
 
 

@@ -34,6 +34,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
 from . import bitkernel
 
 __all__ = [
@@ -57,6 +58,16 @@ __all__ = [
     "num_edges",
     "neighbors",
 ]
+
+# which kernel tier served each APSP-class query (pre-bound handles:
+# one enabled-branch + dict update per call, nothing when disabled)
+_APSP_TIER = obs_metrics.counter(
+    "repro_apsp_calls_total",
+    "APSP-class kernel invocations by tier",
+    ("tier",))
+_TIER_BITKERNEL = _APSP_TIER.labels(tier="bitkernel")
+_TIER_BLAS = _APSP_TIER.labels(tier="blas_layered")
+_TIER_MATMUL = _APSP_TIER.labels(tier="bool_matmul")
 
 
 def validate_adjacency(A: np.ndarray) -> None:
@@ -181,7 +192,9 @@ def bfs_distances_multi(A: np.ndarray, sources: Sequence[int], mask: np.ndarray 
     n = A.shape[0]
     k = len(sources)
     if bitkernel.enabled_multi(n, k):
+        _TIER_BITKERNEL.inc()
         return bitkernel.bfs_distances_multi(A, sources, mask=mask)
+    _TIER_BLAS.inc()
     Af = A.astype(np.float32)
     dist = np.full((k, n), np.inf)
     visited = np.zeros((k, n), dtype=bool)
@@ -219,6 +232,7 @@ def all_pairs_distances_fast(A: np.ndarray, mask: np.ndarray | None = None) -> n
     if n == 0:
         return np.zeros((0, 0))
     if bitkernel.enabled_for(n):
+        _TIER_BITKERNEL.inc()
         return bitkernel.all_pairs_distances(A, mask=mask)
     return bfs_distances_multi(A, list(range(n)), mask=mask)
 
@@ -234,6 +248,7 @@ def all_pairs_distances(A: np.ndarray, mask: np.ndarray | None = None) -> np.nda
     ``(n, n) x (n, n)`` boolean product — no Python-level per-edge work.
     """
     n = A.shape[0]
+    _TIER_MATMUL.inc()
     B = A.astype(bool, copy=True)
     if mask is not None:
         B[~mask, :] = False

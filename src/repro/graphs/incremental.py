@@ -60,6 +60,7 @@ from typing import Dict, Iterable, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
 from . import adjacency as adj
 
 __all__ = [
@@ -77,6 +78,25 @@ __all__ = [
 #: (the multi-source repair BFS runs on BLAS layers, so it stays cheap up
 #: to half the rows; a full boolean-matmul APSP is ~20x a repair.)
 DEFAULT_DIRTY_THRESHOLD = 0.5
+
+# pre-bound obs handles: per-event cost is one attribute load + one
+# enabled-branch + one dict update (nothing when the meter is off)
+_BACKEND_CALLS = obs_metrics.counter(
+    "repro_backend_calls_total",
+    "DistanceBackend queries by backend and operation",
+    ("backend", "op"))
+_DENSE_FULL = _BACKEND_CALLS.labels(backend="dense", op="full")
+_DENSE_DEV = _BACKEND_CALLS.labels(backend="dense", op="deviation")
+_INC_FULL = _BACKEND_CALLS.labels(backend="incremental", op="full")
+_INC_DEV = _BACKEND_CALLS.labels(backend="incremental", op="deviation")
+_CACHE_EVENTS = obs_metrics.counter(
+    "repro_deviation_cache_events_total",
+    "DeviationCache hits, misses, invalidations and evictions",
+    ("event",))
+_CACHE_HIT = _CACHE_EVENTS.labels(event="hit")
+_CACHE_MISS = _CACHE_EVENTS.labels(event="miss")
+_CACHE_INVALIDATION = _CACHE_EVENTS.labels(event="invalidation")
+_CACHE_EVICTION = _CACHE_EVENTS.labels(event="eviction")
 
 
 def update_distances_after_vertex_change(
@@ -368,20 +388,36 @@ class DeviationCache:
     def __init__(self, max_entries: int = 200_000):
         self.max_entries = max_entries
         self._table: Dict[tuple, object] = {}
+        self._last_key: Dict[tuple, bytes] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._table)
 
     def get(self, game_token: tuple, agent: int, state_key: bytes):
-        """Cached best response, or ``None`` on a miss."""
+        """Cached best response, or ``None`` on a miss.
+
+        A miss where the *same* ``(game_token, agent)`` was previously
+        priced under a *different* key is an **invalidation**: the
+        agent's inputs changed and its old entry can never hit again.
+        An agent whose move was a no-op keeps its key, so a no-op
+        produces zero invalidations — the property the dirty-agent
+        hypothesis suite pins.
+        """
         hit = self._table.get((game_token, agent, state_key))
         if hit is None:
             self.misses += 1
+            _CACHE_MISS.inc()
+            last = self._last_key.get((game_token, agent))
+            if last is not None and last != state_key:
+                self.invalidations += 1
+                _CACHE_INVALIDATION.inc()
         else:
             self.hits += 1
+            _CACHE_HIT.inc()
         return hit
 
     def put(self, game_token: tuple, agent: int, state_key: bytes, br) -> None:
@@ -391,18 +427,23 @@ class DeviationCache:
             # run that overflows the cap has long stopped cycling
             self._table.clear()
             self.evictions += 1
+            _CACHE_EVICTION.inc()
         self._table[(game_token, agent, state_key)] = br
+        self._last_key[(game_token, agent)] = state_key
 
     def clear(self) -> None:
         self._table.clear()
+        self._last_key.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Counter snapshot: hits / misses / size / evictions."""
+        """Counter snapshot: hits / misses / size / evictions /
+        invalidations."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._table),
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }
 
 
@@ -441,9 +482,11 @@ class DenseBackend:
     name = "dense"
 
     def full_distances(self, net) -> np.ndarray:
+        _DENSE_FULL.inc()
         return adj.all_pairs_distances(net.A)
 
     def deviation_distances(self, net, u: int) -> np.ndarray:
+        _DENSE_DEV.inc()
         return adj.distances_without_vertex(net.A, u)
 
     def cached_best_response(self, game, net, u: int):
@@ -486,6 +529,7 @@ class IncrementalBackend:
         self._pending_key: Optional[tuple] = None
 
     def full_distances(self, net) -> np.ndarray:
+        _INC_FULL.inc()
         return self._full.distances(net.A)
 
     def _engine_for(self, u: int) -> IncrementalAPSP:
@@ -497,6 +541,7 @@ class IncrementalBackend:
         return engine
 
     def deviation_distances(self, net, u: int) -> np.ndarray:
+        _INC_DEV.inc()
         return self._engine_for(u).distances(net.A)
 
     def _deviation_key(self, game, net, u: int) -> bytes:

@@ -1,0 +1,302 @@
+"""Nestable tracing spans emitting checksummed JSONL events.
+
+``span("name", key=value)`` is a context manager.  Enabled, it times
+the block and appends one JSON line per span on exit — CRC-stamped and
+torn-tail-stitched with exactly the discipline of the campaign stores
+(PR 7), so a trace file survives a SIGKILL mid-write and a reader can
+always separate a torn line from corruption.  Disabled, ``span()``
+returns a shared no-op singleton: the fast path is one global load and
+one branch, nothing allocated, which is what lets tracing hooks live
+permanently in ``run_dynamics`` and the fabric workers.
+
+Sampling is decided once per *root* span (children inherit the
+decision), so a sampled trace always contains complete trees.
+
+Configuration is environment-first: ``REPRO_TRACE=<path>`` turns the
+global tracer on, ``REPRO_TRACE_SAMPLE=<0..1>`` sets the sampling
+rate.  :func:`configure` also writes those variables back into
+``os.environ`` so fabric / service worker subprocesses inherit the
+same trace destination (each process appends with its own pid in every
+event; lines are whole, so concurrent appends interleave cleanly).
+
+Stdlib-only; reimplements the CRC line codec rather than importing
+:mod:`repro.experiments.campaign` (that would cycle back through the
+runner into :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+import zlib
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "CRC_KEY",
+    "ENV_SAMPLE",
+    "ENV_TRACE",
+    "Tracer",
+    "configure",
+    "current_tracer",
+    "decode_trace_line",
+    "encode_trace_line",
+    "iter_trace",
+    "span",
+    "summarize_trace",
+]
+
+ENV_TRACE = "REPRO_TRACE"
+ENV_SAMPLE = "REPRO_TRACE_SAMPLE"
+
+#: checksum field name — same convention as the campaign stores
+CRC_KEY = "_crc"
+
+
+def _record_crc(record: dict) -> str:
+    payload = json.dumps(record, sort_keys=True).encode("utf-8")
+    return f"{zlib.crc32(payload) & 0xFFFFFFFF:08x}"
+
+
+def encode_trace_line(record: dict) -> str:
+    """One trace event as a checksummed JSON line (no newline)."""
+    return json.dumps({CRC_KEY: _record_crc(record), **record},
+                      sort_keys=True)
+
+
+def decode_trace_line(line: str) -> Tuple[Optional[dict], Optional[str]]:
+    """``(record, None)`` on success, ``(None, reason)`` otherwise."""
+    line = line.strip()
+    if not line:
+        return None, "empty"
+    try:
+        obj = json.loads(line)
+    except ValueError:
+        return None, "unparsable"
+    if not isinstance(obj, dict):
+        return None, "unparsable"
+    claimed = obj.pop(CRC_KEY, None)
+    if claimed is None or claimed != _record_crc(obj):
+        return None, "checksum"
+    return obj, None
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager (reentrant: it has no state)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("_tracer", "name", "attrs", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self)
+        self._t0 = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.monotonic() - self._t0
+        self._tracer._pop(self, duration, error=exc_type is not None)
+        return False
+
+
+class Tracer:
+    """Appends one checksummed event per finished span to a JSONL file."""
+
+    def __init__(self, path, sample: float = 1.0, seed: Optional[int] = None) -> None:
+        self.path = os.fspath(path)
+        self.sample = float(sample)
+        self.enabled = True
+        self._rng = random.Random(seed)
+        self._local = threading.local()
+        self._write_lock = threading.Lock()
+        self._fh = None
+
+    # -- span stack ---------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> _Span:
+        if not self.enabled:
+            return _NOOP
+        return _Span(self, name, attrs)
+
+    def _push(self, span: _Span) -> None:
+        stack = self._stack()
+        if not stack:
+            # sampling is decided at the root so trees stay complete
+            self._local.sampled = (self.sample >= 1.0
+                                   or self._rng.random() < self.sample)
+        stack.append(span)
+
+    def _pop(self, span: _Span, duration: float, error: bool) -> None:
+        stack = self._stack()
+        depth = len(stack) - 1
+        parent = stack[-2].name if depth > 0 else None
+        stack.pop()
+        if not getattr(self._local, "sampled", True):
+            return
+        event = {"kind": "span", "name": span.name, "dur_s": duration,
+                 "depth": depth, "parent": parent, "pid": os.getpid()}
+        if error:
+            event["error"] = True
+        if span.attrs:
+            event["attrs"] = {k: v for k, v in sorted(span.attrs.items())}
+        self._write(event)
+
+    # -- durable append -----------------------------------------------
+
+    def _open(self):
+        """Append-open with torn-tail stitching: if a previous writer
+        died mid-line, terminate that line so ours starts clean (the
+        torn line itself fails its CRC and is skipped by readers)."""
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a+b") as raw:
+            raw.seek(0, os.SEEK_END)
+            if raw.tell() > 0:
+                raw.seek(-1, os.SEEK_END)
+                if raw.read(1) != b"\n":
+                    raw.write(b"\n")
+        return open(self.path, "a", encoding="utf-8")
+
+    def _write(self, event: dict) -> None:
+        line = encode_trace_line(event) + "\n"
+        with self._write_lock:
+            if self._fh is None:
+                self._fh = self._open()
+            self._fh.write(line)
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._write_lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+# ---------------------------------------------------------------------------
+# the global tracer
+# ---------------------------------------------------------------------------
+
+_GLOBAL: Optional[Tracer] = None
+
+
+def configure(path=None, sample: float = 1.0,
+              seed: Optional[int] = None) -> Optional[Tracer]:
+    """Install (or, with ``path=None``, remove) the global tracer.
+
+    The destination is mirrored into ``os.environ`` so subprocesses —
+    fabric workers, service job workers — trace into the same file.
+    """
+    global _GLOBAL
+    if _GLOBAL is not None:
+        _GLOBAL.close()
+    if path is None:
+        _GLOBAL = None
+        os.environ.pop(ENV_TRACE, None)
+        os.environ.pop(ENV_SAMPLE, None)
+        return None
+    _GLOBAL = Tracer(path, sample=sample, seed=seed)
+    os.environ[ENV_TRACE] = _GLOBAL.path
+    os.environ[ENV_SAMPLE] = repr(float(sample))
+    return _GLOBAL
+
+
+def _configure_from_env() -> None:
+    path = os.environ.get(ENV_TRACE, "").strip()
+    if not path:
+        return
+    try:
+        sample = float(os.environ.get(ENV_SAMPLE, "1.0"))
+    except ValueError:
+        sample = 1.0
+    global _GLOBAL
+    _GLOBAL = Tracer(path, sample=sample)
+
+
+_configure_from_env()
+
+
+def current_tracer() -> Optional[Tracer]:
+    return _GLOBAL
+
+
+def span(name: str, **attrs):
+    """The instrumentation entry point: a context manager timing the
+    block under the global tracer, or a shared no-op when tracing is
+    off (one global load + one branch — nothing allocated)."""
+    tracer = _GLOBAL
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, **attrs)
+
+
+# ---------------------------------------------------------------------------
+# reading traces back
+# ---------------------------------------------------------------------------
+
+
+def iter_trace(path) -> Iterator[dict]:
+    """Yield every checksum-valid event; skip torn/corrupt lines."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            record, _ = decode_trace_line(line)
+            if record is not None:
+                yield record
+
+
+def summarize_trace(path) -> dict:
+    """Fold a trace JSONL into a per-span-name time table.
+
+    Returns ``{"spans": {name: {count, total_s, mean_s, max_s}},
+    "total_events": N, "skipped_lines": M}`` sorted by total time.
+    """
+    table: Dict[str, dict] = {}
+    total = skipped = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            record, err = decode_trace_line(line)
+            if record is None:
+                skipped += 1
+                continue
+            total += 1
+            name = record.get("name", "?")
+            dur = float(record.get("dur_s", 0.0))
+            row = table.get(name)
+            if row is None:
+                row = table[name] = {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            row["count"] += 1
+            row["total_s"] += dur
+            row["max_s"] = max(row["max_s"], dur)
+    for row in table.values():
+        row["mean_s"] = row["total_s"] / row["count"]
+    ordered = dict(sorted(table.items(),
+                          key=lambda kv: -kv[1]["total_s"]))
+    return {"spans": ordered, "total_events": total,
+            "skipped_lines": skipped}

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 from typing import Optional, Tuple
 
+from ..obs import metrics as obs_metrics
 from .jobs import JobManager, JobRejected
 from .protocol import (
     HTTPRequest,
@@ -30,6 +31,7 @@ from .protocol import (
     error_response,
     handshake_response,
     json_response,
+    response_bytes,
 )
 from .quotas import QuotaPolicy
 from .stream import stream_job
@@ -38,10 +40,15 @@ CLIENT_HEADER = "x-client-token"
 ANONYMOUS = "anonymous"
 
 ROUTES = (
-    "GET /", "GET /scenarios", "GET /scenarios/schema",
+    "GET /", "GET /metrics", "GET /scenarios", "GET /scenarios/schema",
     "GET /jobs", "POST /jobs", "GET /jobs/{id}", "GET /jobs/{id}/result",
     "DELETE /jobs/{id}", "GET /jobs/{id}/stream",
 )
+
+_QUOTA_REJECTIONS = obs_metrics.counter(
+    "repro_quota_rejections_total",
+    "Submissions bounced by the quota policy",
+    ("code",))
 
 
 class ServiceApi:
@@ -60,6 +67,8 @@ class ServiceApi:
         try:
             if not parts:
                 return self._banner(request)
+            if parts[0] == "metrics" and len(parts) == 1:
+                return self._metrics(request)
             if parts[0] == "scenarios":
                 return self._scenarios(request, parts)
             if parts[0] == "jobs":
@@ -67,6 +76,7 @@ class ServiceApi:
             return error_response(404, "not-found",
                                   f"no route for {request.path!r}")
         except JobRejected as exc:
+            _QUOTA_REJECTIONS.labels(code=exc.code).inc()
             headers = {}
             if exc.retry_after is not None:
                 headers["Retry-After"] = str(exc.retry_after)
@@ -77,6 +87,23 @@ class ServiceApi:
         if request.method != "GET":
             return error_response(405, "method-not-allowed", request.method)
         return json_response(200, {"service": "repro", "routes": ROUTES})
+
+    def _metrics(self, request: HTTPRequest) -> bytes:
+        """Prometheus exposition: this process's meter folded with every
+        job worker's delta snapshot (``jobs/*/metrics.json``), so kernel
+        and per-job families show up next to the service's own."""
+        if request.method != "GET":
+            return error_response(405, "method-not-allowed", request.method)
+        snapshot = obs_metrics.DEFAULT.snapshot()
+        for path in sorted(self.manager.jobs_dir.glob("*/metrics.json")):
+            try:
+                snapshot = obs_metrics.merge_snapshots(
+                    snapshot, obs_metrics.read_snapshot_file(path))
+            except (OSError, ValueError):
+                continue  # torn or foreign file: exposition must not 500
+        body = obs_metrics.encode_prometheus(snapshot).encode("utf-8")
+        return response_bytes(200, body,
+                              content_type=obs_metrics.CONTENT_TYPE)
 
     def _scenarios(self, request: HTTPRequest, parts) -> bytes:
         from ..registry import REGISTRY

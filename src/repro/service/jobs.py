@@ -37,6 +37,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..registry.scenario import ScenarioSpec
 from ..statespace.expand import AGENT_FILTERS, MOVESETS
 from ..testing.faults import resolve_fs
@@ -60,6 +62,20 @@ __all__ = [
 JOB_KINDS = ("trial", "campaign", "explore")
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+_JOB_EVENTS = obs_metrics.counter(
+    "repro_jobs_events_total",
+    "Job lifecycle events seen by the manager",
+    ("event",))
+_JOB_SUBMITTED = _JOB_EVENTS.labels(event="submitted")
+_JOB_STARTED = _JOB_EVENTS.labels(event="started")
+_JOB_DONE = _JOB_EVENTS.labels(event="done")
+_JOB_FAILED = _JOB_EVENTS.labels(event="failed")
+_JOB_CANCELLED = _JOB_EVENTS.labels(event="cancelled")
+_JOB_REQUEUED = _JOB_EVENTS.labels(event="requeued")
+_JOBS_RUNNING = obs_metrics.gauge(
+    "repro_jobs_running",
+    "Worker processes currently executing jobs")
 
 #: worker exit codes — the manager's reaper maps them to job states
 EXIT_DONE = 0
@@ -222,12 +238,15 @@ class Job:
     seq: int
     request: dict
     error: Optional[dict] = None
+    #: times this job went running -> queued (crash or drain); streams
+    #: watch it to tell a resumed job apart from a rescheduling blip
+    requeues: int = 0
 
     def view(self, progress: Optional[dict] = None) -> dict:
         """The JSON the API returns for this job."""
         out = {"id": self.id, "kind": self.kind, "state": self.state,
                "client": self.client, "request": self.request,
-               "error": self.error}
+               "error": self.error, "requeues": self.requeues}
         if progress is not None:
             out["progress"] = progress
         return out
@@ -235,7 +254,8 @@ class Job:
     def to_json(self) -> dict:
         return {"id": self.id, "kind": self.kind, "state": self.state,
                 "client": self.client, "seq": self.seq,
-                "request": self.request, "error": self.error}
+                "request": self.request, "error": self.error,
+                "requeues": self.requeues}
 
     @classmethod
     def from_json(cls, payload: dict) -> "Job":
@@ -243,7 +263,8 @@ class Job:
                    state=payload["state"], client=payload.get("client", ""),
                    seq=int(payload.get("seq", 0)),
                    request=payload.get("request", {}),
-                   error=payload.get("error"))
+                   error=payload.get("error"),
+                   requeues=int(payload.get("requeues", 0)))
 
 
 # --------------------------------------------------------------------------
@@ -325,14 +346,18 @@ def job_worker_main(job_dir: str) -> int:
     _drain_asked = 0
     signal.signal(signal.SIGTERM, _worker_sigterm)
     root = Path(job_dir)
+    # Forked workers inherit the parent's meter values; persist only the
+    # delta accrued in this process so fleet merges don't double-count.
+    entry_snapshot = obs_metrics.DEFAULT.snapshot()
     try:
         job = Job.from_json(json.loads((root / "job.json").read_text()))
         request = parse_job_request(job.request)
         store_dir = root / "store"
-        if request.kind == "explore":
-            result = _run_explore_job(request, store_dir)
-        else:
-            result = _run_campaign_job(request, job.id, store_dir)
+        with obs_tracing.span("service.job", job=job.id, kind=request.kind):
+            if request.kind == "explore":
+                result = _run_explore_job(request, store_dir)
+            else:
+                result = _run_campaign_job(request, job.id, store_dir)
         if result is None:
             return EXIT_RELEASED
         _write_json(root / "result.json", result)
@@ -349,6 +374,14 @@ def job_worker_main(job_dir: str) -> int:
         except OSError:
             pass
         return EXIT_FAILED
+    finally:
+        try:
+            obs_metrics.write_snapshot_file(
+                root / "metrics.json",
+                snapshot=obs_metrics.diff_snapshots(
+                    obs_metrics.DEFAULT.snapshot(), entry_snapshot))
+        except OSError:
+            pass  # telemetry must never fail the worker
 
 
 def _worker_entry(job_dir: str) -> None:
@@ -410,10 +443,13 @@ class JobManager:
                 continue  # torn control record: job dir is inert, skip it
             if job.state == "running":
                 job.state = "queued"
+                job.requeues += 1
                 self._persist(job)
                 requeued += 1
             self.jobs[job.id] = job
             self._seq = max(self._seq, job.seq + 1)
+        if requeued:
+            _JOB_REQUEUED.inc(requeued)
         return {"jobs": len(self.jobs), "requeued": requeued}
 
     # -- queries -----------------------------------------------------------
@@ -475,6 +511,7 @@ class JobManager:
         self.job_dir(job_id).mkdir(parents=True, exist_ok=True)
         self._persist(job)
         self.jobs[job_id] = job
+        _JOB_SUBMITTED.inc()
         return job
 
     def cancel(self, job_id: str) -> Job:
@@ -484,6 +521,7 @@ class JobManager:
             return job
         job.state = "cancelled"
         self._persist(job)
+        _JOB_CANCELLED.inc()
         proc = self.procs.get(job_id)
         if proc is not None and proc.is_alive():
             proc.terminate()
@@ -505,6 +543,8 @@ class JobManager:
                 daemon=True)
             proc.start()
             self.procs[job.id] = proc
+            _JOB_STARTED.inc()
+        _JOBS_RUNNING.set(len(self.procs))
 
     def _reap(self) -> None:
         for job_id in list(self.procs):
@@ -519,13 +559,18 @@ class JobManager:
             code = proc.exitcode
             if code == EXIT_DONE and self.result_path(job_id).exists():
                 job.state = "done"
+                _JOB_DONE.inc()
             elif code == EXIT_RELEASED or code in (-signal.SIGTERM,
                                                    -signal.SIGKILL):
                 job.state = "queued"  # drained or killed: intact, re-runnable
+                job.requeues += 1
+                _JOB_REQUEUED.inc()
             else:
                 job.state = "failed"
                 job.error = self._read_error(job_id, code)
+                _JOB_FAILED.inc()
             self._persist(job)
+        _JOBS_RUNNING.set(len(self.procs))
 
     def _read_error(self, job_id: str, code: Optional[int]) -> dict:
         path = self.job_dir(job_id) / "error.json"

@@ -20,10 +20,12 @@ from __future__ import annotations
 import asyncio
 import signal
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Set
 
+from ..obs import metrics as obs_metrics
 from .api import ServiceApi
 from .jobs import JobManager
 from .protocol import (
@@ -33,6 +35,11 @@ from .protocol import (
     read_request,
 )
 from .quotas import QuotaPolicy
+
+_REQUEST_SECONDS = obs_metrics.histogram(
+    "repro_request_seconds",
+    "HTTP request latency (parse excluded, dispatch + write included)",
+).labels()
 
 
 @dataclass(frozen=True)
@@ -134,12 +141,14 @@ class ReproService:
         if request.wants_websocket:
             await self.api.handle_stream(request, reader, writer)
             return
+        started = time.monotonic()
         try:
             response = self.api.dispatch(request)
         except Exception as exc:  # noqa: BLE001 — one bad request != dead server
             response = error_response(500, "internal-error", repr(exc))
         writer.write(response)
         await writer.drain()
+        _REQUEST_SECONDS.observe(time.monotonic() - started)
 
 
 async def _amain(config: ServiceConfig) -> None:

@@ -28,11 +28,20 @@ from pathlib import Path
 from typing import List, Tuple
 
 from ..experiments.campaign import decode_record_line
+from ..obs import metrics as obs_metrics
 from .jobs import TERMINAL_STATES, Job, JobManager
 from .protocol import CLOSE_NORMAL, ProtocolError, WebSocket
 
 __all__ = ["DEFAULT_QUEUE_LIMIT", "SUMMARY_INTERVAL", "RecordTail",
            "stream_job"]
+
+_STREAM_EVENTS = obs_metrics.counter(
+    "repro_stream_events_total",
+    "Stream lifecycle events across all connections",
+    ("event",))
+_STREAM_OPENED = _STREAM_EVENTS.labels(event="opened")
+_STREAM_BACKPRESSURE = _STREAM_EVENTS.labels(event="backpressure_flip")
+_STREAM_RESUMED = _STREAM_EVENTS.labels(event="resumed")
 
 #: per-client queue bound — overflow flips the stream to summary-only
 DEFAULT_QUEUE_LIMIT = 256
@@ -95,13 +104,29 @@ async def stream_job(
     """Serve one stream connection until the job ends or the client goes."""
     queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
     await ws.send_text(_event({"event": "job", **job.view(manager.progress(job))}))
+    _STREAM_OPENED.inc()
 
     async def producer() -> None:
         tail = RecordTail(manager.store_dir(job.id))
         seen = dropped = 0
         summary_mode = False
         last_summary = 0.0
+        seen_requeues = job.requeues
         while True:
+            if job.requeues != seen_requeues:
+                # the worker died (or drained) mid-job and the manager put
+                # the job back in queue: tell the client it will resume,
+                # not that it ended.  The counter survives the instant
+                # queued -> running flip of the scheduler loop.
+                seen_requeues = job.requeues
+                _STREAM_RESUMED.inc()
+                try:
+                    queue.put_nowait(("event", _event(
+                        {"event": "resumed", "job": job.id,
+                         "state": job.state, "requeues": job.requeues,
+                         "records": seen})))
+                except asyncio.QueueFull:
+                    pass  # summary events carry the state anyway
             lines = tail.poll()
             for line in lines:
                 seen += 1
@@ -114,6 +139,7 @@ async def stream_job(
                     # the client is slower than the job: stop shipping
                     # records for good, keep counting them
                     summary_mode = True
+                    _STREAM_BACKPRESSURE.inc()
                     dropped += 1
             now = time.monotonic()
             if summary_mode and now - last_summary >= summary_interval:

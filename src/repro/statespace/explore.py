@@ -45,9 +45,20 @@ from ..core.games import Game
 from ..core.moves import move_from_dict
 from ..core.network import Network
 from ..graphs import adjacency as adj
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from .encode import decode_state, encode_state
 from .expand import AGENT_FILTERS, MOVESETS, Expander, ownership_matters
 from .store import ExplorationStore, manifest_for
+
+# frontier telemetry: one gauge write + one span per BFS layer, one
+# counter add per batch of expansions — never per transition
+_EXPANSIONS = obs_metrics.counter(
+    "repro_explore_expansions_total",
+    "Statespace expansions performed")
+_FRONTIER_DEPTH = obs_metrics.gauge(
+    "repro_explore_frontier_depth",
+    "Pending-state count of the most recent frontier layer")
 
 __all__ = [
     "DEFAULT_MAX_STATES",
@@ -725,6 +736,7 @@ def explore(
             ]
             if not pending or budget_hit:
                 break
+            _FRONTIER_DEPTH.set(len(pending))
             pending.sort(key=lambda i: graph.keys[i])
             if max_expansions is not None:
                 room = max_expansions - expansions
@@ -733,33 +745,35 @@ def explore(
                     break
                 pending = pending[:room]
 
-            if n_jobs > 1 and len(pending) > 1:
-                jobs = max(1, min(int(n_jobs), len(pending)))
-                chunks = [
-                    [(graph.keys[i].hex(), graph.blobs[i].hex()) for i in pending[c::jobs]]
-                    for c in range(jobs)
-                ]
-                args = [
-                    (game, moves, agent_filter, backend, chunk)
-                    for chunk in chunks if chunk
-                ]
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    results = [r for batch in pool.map(_expand_chunk, args) for r in batch]
-                results.sort(key=lambda r: r[0])
-            else:
-                # serial path: one persistent expander keeps its
-                # (state, agent) memo and backend caches warm across layers
-                results = []
-                for i in pending:
-                    net = decode_state(graph.blobs[i])
-                    rows: List[list] = []
-                    succs: List[Tuple[str, str]] = []
-                    for t, succ_net in expander.expand_with_successors(
-                        net, graph.keys[i]
-                    ):
-                        rows.append([int(t.agent), t.move_dict(), t.succ_key.hex()])
-                        succs.append((t.succ_key.hex(), encode_state(succ_net).hex()))
-                    results.append((graph.keys[i].hex(), rows, succs))
+            with obs_tracing.span("explore.layer", pending=len(pending)):
+                if n_jobs > 1 and len(pending) > 1:
+                    jobs = max(1, min(int(n_jobs), len(pending)))
+                    chunks = [
+                        [(graph.keys[i].hex(), graph.blobs[i].hex()) for i in pending[c::jobs]]
+                        for c in range(jobs)
+                    ]
+                    args = [
+                        (game, moves, agent_filter, backend, chunk)
+                        for chunk in chunks if chunk
+                    ]
+                    with ProcessPoolExecutor(max_workers=jobs) as pool:
+                        results = [r for batch in pool.map(_expand_chunk, args) for r in batch]
+                    results.sort(key=lambda r: r[0])
+                else:
+                    # serial path: one persistent expander keeps its
+                    # (state, agent) memo and backend caches warm across layers
+                    results = []
+                    for i in pending:
+                        net = decode_state(graph.blobs[i])
+                        rows: List[list] = []
+                        succs: List[Tuple[str, str]] = []
+                        for t, succ_net in expander.expand_with_successors(
+                            net, graph.keys[i]
+                        ):
+                            rows.append([int(t.agent), t.move_dict(), t.succ_key.hex()])
+                            succs.append((t.succ_key.hex(), encode_state(succ_net).hex()))
+                        results.append((graph.keys[i].hex(), rows, succs))
+            _EXPANSIONS.inc(len(results))
 
             for key_hex, rows, succs in results:
                 idx = graph.index[bytes.fromhex(key_hex)]

@@ -39,7 +39,8 @@ class TestDeviationCacheUnit:
         assert cache.get(token, 0, b"s") is None
         cache.put(token, 0, b"s", "BR")
         assert cache.get(token, 0, b"s") == "BR"
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1, "evictions": 0}
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
+                                 "evictions": 0, "invalidations": 0}
 
     def test_distinct_agents_states_and_games_do_not_collide(self):
         cache = DeviationCache()

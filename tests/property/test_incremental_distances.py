@@ -231,6 +231,47 @@ def test_trajectories_identical_above_auto_threshold():
     assert ri.backend_stats["deviation"]["incremental_updates"] > 0
 
 
+@settings(max_examples=30, deadline=None)
+@given(graph_and_mutations(min_n=3, max_n=10), st.sampled_from(["sum", "max"]))
+def test_noop_move_causes_zero_repricings(case, mode):
+    """The dirty-agent cache contract: pricing an *unchanged* state is
+    pure cache hits — no misses, no invalidations — while a real move
+    invalidates at least the agents whose edges it touched.  The counts
+    are read straight off the cache object (``backend.cache.stats()``)."""
+    A, steps = case
+    rng = np.random.default_rng(1)
+    net = network_from_adjacency(A, rng)
+    game = AsymmetricSwapGame(mode)
+    backend = IncrementalBackend()
+
+    for u in range(net.n):
+        game.best_responses(net, u, backend=backend)
+    before = backend.cache.stats()
+    # the cold pass is all misses, and misses-without-history are not
+    # invalidations
+    assert before["misses"] > 0
+    assert before["invalidations"] == 0
+
+    # a no-op "move": the state is untouched; re-pricing every agent
+    # must be served entirely from cache
+    for u in range(net.n):
+        game.best_responses(net, u, backend=backend)
+    after = backend.cache.stats()
+    assert after["misses"] == before["misses"]
+    assert after["invalidations"] == 0
+    assert after["hits"] == before["hits"] + net.n
+
+    # contrast: a real move re-keys the touched agents, so re-pricing
+    # one of them is a miss that counts as an invalidation
+    v, targets = steps[0]
+    apply_mutation(net.A, v, targets)
+    net.owner &= net.A
+    missing = net.A & ~(net.owner | net.owner.T)
+    net.owner |= np.triu(missing)
+    game.best_responses(net, v, backend=backend)
+    assert backend.cache.stats()["invalidations"] >= 1
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     st.integers(4, 14),

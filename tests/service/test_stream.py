@@ -223,6 +223,70 @@ class TestBackpressure:
         assert closed
 
 
+class TestResumedEvent:
+    """A worker crash mid-job surfaces as a ``resumed`` control event."""
+
+    def test_sigkilled_worker_emits_resumed_on_the_stream(self, tmp_path):
+        import time
+
+        from repro.service.protocol import WebSocket
+
+        async def go():
+            manager = JobManager(tmp_path, workers=1)
+            manager.recover()
+            job = manager.submit(trial_payload(n=20, trials=60, seed=3),
+                                 client="t")
+            stop = asyncio.Event()
+            scheduler = asyncio.ensure_future(manager.run(stop))
+            harness = WsHarness()
+            stream = asyncio.ensure_future(stream_job(
+                manager, job, WebSocket(harness.reader, harness), poll=0.01))
+
+            async def wait_for(condition, timeout=60.0):
+                deadline = time.monotonic() + timeout
+                while not condition():
+                    assert time.monotonic() < deadline
+                    await asyncio.sleep(0.02)
+
+            try:
+                # kill only once the worker is mid-job (records on disk)
+                await wait_for(lambda: job.state == "running" and len(
+                    store_lines(manager.store_dir(job.id))) >= 3)
+                for proc in manager.procs.values():
+                    proc.kill()
+                # the scheduler requeues and respawns; the job completes
+                await wait_for(lambda: job.state == "done", timeout=120)
+                await asyncio.wait_for(stream, timeout=30)
+            finally:
+                stop.set()
+                await scheduler
+            return job.requeues, harness.messages()
+
+        requeues, (records, events, closed) = asyncio.run(go())
+        assert requeues >= 1
+        names = [e["event"] for _, e in events]
+        assert "resumed" in names
+        resumed = next(e for _, e in events if e["event"] == "resumed")
+        assert resumed["requeues"] >= 1
+        # the stream kept going: resumed is not terminal, end is
+        assert names.index("resumed") < names.index("end")
+        assert events[-1][1]["state"] == "done"
+        assert closed
+
+    def test_restart_recovery_counts_as_a_requeue(self, tmp_path):
+        manager = make_manager(tmp_path)
+        job = manager.submit(trial_payload(), client="t")
+        job.state = "running"  # simulate dying with a live worker
+        manager._persist(job)
+
+        revived = JobManager(tmp_path, workers=0)
+        revived.recover()
+        recovered = revived.get(job.id)
+        assert recovered.state == "queued"
+        assert recovered.requeues == 1
+        assert recovered.view()["requeues"] == 1
+
+
 class TestRecordTail:
     def test_poll_is_incremental_and_checksum_gated(self, tmp_path):
         path = tmp_path / "trials-0of1.jsonl"

@@ -522,3 +522,68 @@ class TestExplore:
                    "--shard", "2/2", "--results-dir", str(tmp_path)])
         assert rc == 2
         assert "0 <= i < k" in capsys.readouterr().out
+
+
+class TestObservabilityCLI:
+    """The obs verbs: ``drain --json``, ``repro top``, ``repro trace``."""
+
+    def test_drain_json_report_then_top(self, capsys, tmp_path):
+        import json
+
+        rc = main(["drain", "fig7", "--trials", "2", "--n", "10",
+                   "--workers", "2", "--results-dir", str(tmp_path),
+                   "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["complete"] is True
+        assert report["units_done"] == 6 and report["units_failed"] == 0
+        # S3: per-worker last-heartbeat age and retry counts ride along
+        assert report["worker_stats"]
+        for stats in report["worker_stats"].values():
+            assert stats["last_heartbeat_age"] >= 0.0
+            assert stats["retries"] >= 0 and stats["crashes"] >= 0
+        assert any(name.startswith("repro_")
+                   for name in report["fleet_metrics"])
+
+        # the same fleet metrics render as the one-shot console table
+        root = str(tmp_path / "fig7-seed0")
+        assert main(["top", root, "--once"]) == 0
+        assert "repro_" in capsys.readouterr().out
+
+    def test_top_without_metrics(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path), "--once"]) == 1
+        assert "no fleet metrics" in capsys.readouterr().out
+
+    def test_trace_summarize_table_and_json(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import tracing
+
+        path = tmp_path / "trace.jsonl"
+        tracing.configure(path)
+        try:
+            with tracing.span("outer"):
+                with tracing.span("inner"):
+                    pass
+        finally:
+            tracing.configure(None)
+
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "outer" in out and "inner" in out and "2 span names" in out
+
+        assert main(["trace", "summarize", str(path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["spans"]["outer"]["count"] == 1
+        assert summary["total_events"] == 2
+
+    def test_trace_summarize_empty_is_a_failure(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 1
+        assert "0 events" in capsys.readouterr().out
+
+    def test_trace_summarize_missing_file(self, capsys, tmp_path):
+        rc = main(["trace", "summarize", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().out

@@ -32,6 +32,9 @@ MODULES = [
     "repro.statespace.explore",
     "repro.statespace.store",
     "repro.registry.schema",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.tracing",
     "repro.service",
     "repro.service.protocol",
     "repro.service.jobs",
@@ -120,6 +123,23 @@ def test_service_api_is_top_level():
         assert name in repro.__all__
         assert getattr(repro, name) is not None
     assert repro.REGISTRY.has("workload", "serve")
+
+
+def test_obs_api_is_top_level():
+    """The PR 10 observability surface is exported from ``repro``."""
+    import repro
+
+    for name in (
+        "Meter",
+        "Tracer",
+        "configure_tracing",
+        "encode_prometheus",
+        "merge_snapshots",
+        "span",
+        "summarize_trace",
+    ):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
 
 
 def test_star_import_is_clean():
